@@ -1,0 +1,114 @@
+// Fault tolerance: periodic checkpoints + node-failure recovery
+// (paper §1: "fault recovery by restarting from the last checkpoint
+// instead of from scratch").
+//
+// A 4-worker distributed ray tracer renders while the manager takes a
+// checkpoint every 150 virtual ms.  Midway, the node hosting one worker
+// pod *dies*.  The job is restarted from the last good checkpoint, with
+// the dead node's pod placed on a spare node, and completes.
+#include <cstdio>
+
+#include "apps/launcher.h"
+#include "apps/ray.h"
+#include "core/agent.h"
+#include "core/manager.h"
+#include "os/cluster.h"
+
+using namespace zapc;
+
+int main() {
+  os::Cluster cluster;
+  os::Node& mgr_node = cluster.add_node("mgr");
+  std::vector<std::unique_ptr<core::Agent>> agents;
+  std::vector<core::Agent*> all;
+  std::vector<os::Node*> nodes;
+  for (int i = 0; i < 6; ++i) {  // 5 in use + 1 spare
+    nodes.push_back(&cluster.add_node("node" + std::to_string(i + 1)));
+    agents.push_back(std::make_unique<core::Agent>(*nodes.back()));
+    all.push_back(agents.back().get());
+  }
+  core::Manager manager(mgr_node);
+
+  apps::RayMaster::Params mp;
+  mp.workers = 4;
+  mp.width = 320;
+  mp.height = 240;
+  std::vector<core::Agent*> initial(all.begin(), all.begin() + 5);
+  apps::JobHandle job = apps::launch_pvm_job(
+      initial, "render", 4,
+      [&] { return std::make_unique<apps::RayMaster>(mp); },
+      [&](i32) {
+        apps::RayWorker::Params wp;
+        wp.master = net::SockAddr{apps::job_vips(5)[0], mp.port};
+        wp.width = mp.width;
+        wp.cost_per_row = 12000;  // long render: outlives the failure
+        return std::make_unique<apps::RayWorker>(wp);
+      });
+  job.all_agents = all;
+
+  auto targets = job.san_targets("ft/");
+
+  auto checkpoint_once = [&]() -> bool {
+    bool done = false, ok = false;
+    manager.checkpoint(targets, core::CkptMode::SNAPSHOT,
+                       [&](core::Manager::CheckpointReport r) {
+                         ok = r.ok;
+                         done = true;
+                       });
+    while (!done) cluster.run_for(sim::kMillisecond);
+    return ok;
+  };
+
+  // Periodic checkpoints while the job renders.
+  int good_checkpoints = 0;
+  for (int i = 0; i < 3 && !job.finished(); ++i) {
+    cluster.run_for(150 * sim::kMillisecond);
+    if (job.finished()) break;
+    if (checkpoint_once()) {
+      ++good_checkpoints;
+      std::printf("periodic checkpoint #%d taken\n", good_checkpoints);
+    }
+  }
+
+  // Disaster: node3 (hosting worker pod render-w1) dies.
+  std::printf("\n*** node3 fails ***\n\n");
+  nodes[2]->fail();
+  cluster.run_for(200 * sim::kMillisecond);
+
+  // Recovery: restart the whole job from the last checkpoint.  The pod
+  // from the dead node goes to the spare node6; everything else returns
+  // to its old home (any mapping works — the virtual addresses are
+  // stable).
+  std::vector<core::Manager::Target> restart_targets;
+  for (std::size_t i = 0; i < job.pod_names.size(); ++i) {
+    core::Agent* host = all[i];       // original layout
+    if (host == all[2]) host = all[5];  // dead node's pod -> spare
+    restart_targets.push_back({host->addr(), job.pod_names[i],
+                               "san://ft/" + job.pod_names[i]});
+  }
+  // The surviving pods still exist and must be discarded first (their
+  // state is from *after* the checkpoint; a restart rewinds everyone).
+  for (const auto& pn : job.pod_names) {
+    for (core::Agent* a : all) (void)a->destroy_pod(pn);
+  }
+
+  bool done = false, ok = false;
+  manager.restart(restart_targets, {},
+                  [&](core::Manager::RestartReport r) {
+                    std::printf("recovery restart: %s (%.1f ms)\n",
+                                r.ok ? "ok" : r.error.c_str(),
+                                static_cast<double>(r.total_us) / 1000.0);
+                    ok = r.ok;
+                    done = true;
+                  });
+  while (!done) cluster.run_for(sim::kMillisecond);
+  if (!ok) return 1;
+
+  while (!job.finished()) cluster.run_for(20 * sim::kMillisecond);
+  std::printf("render completed after node failure, exit code %d\n",
+              job.exit_code());
+  auto img = cluster.san().read("results/ray.ppm");
+  std::printf("framebuffer in SAN: %zu bytes\n",
+              img.is_ok() ? img.value().size() : 0);
+  return job.exit_code();
+}

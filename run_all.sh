@@ -1,0 +1,5 @@
+#!/bin/bash
+# Regenerates the full evidence set: every test, then every benchmark.
+cd "$(dirname "$0")"
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,76 @@
+// BT: block-tridiagonal ADI solver — the NAS Parallel Benchmark BT
+// analogue (paper §6 workload 2, "involves substantial network
+// communication along the computation").
+//
+// Solves the 2-D diffusion equation with an alternating-direction
+// implicit scheme: each time step performs a tridiagonal (Thomas) solve
+// along x for every local row, a wide halo exchange with both
+// neighbours, a block-local tridiagonal solve along y, and an allreduce
+// of the solution norms.  The grid is large (BT produces the biggest
+// checkpoint images in the paper) and partitioned by row blocks.
+#pragma once
+
+#include "apps/mpi_app.h"
+
+namespace zapc::apps {
+
+class BtProgram final : public os::Program {
+ public:
+  struct Params {
+    i32 rank = 0;
+    i32 size = 1;
+    u32 n = 512;            // global n×n grid
+    u32 steps = 60;         // ADI time steps
+    double alpha_dt = 0.1;  // diffusion number α·Δt / h²
+    sim::Time cost_per_row = 4;  // modeled CPU time per row solve
+    u64 workspace_bytes = 0;     // extra modeled footprint (solver state)
+  };
+
+  BtProgram() = default;
+  explicit BtProgram(Params p)
+      : p_(p), comm_(job_config(p.rank, p.size)) {}
+
+  const char* kind() const override { return "apps.bt"; }
+
+  os::StepResult step(os::Syscalls& sys) override;
+
+  void save(Encoder& e) const override;
+  void load(Decoder& d) override;
+
+  u32 steps_done() const { return step_; }
+  double norm() const { return norm_; }
+
+ private:
+  enum Pc : u32 {
+    INIT = 0,
+    X_SWEEP,
+    SEND_HALO,
+    RECV_HALO,
+    Y_SWEEP,
+    NORM,
+    FINISH,
+  };
+
+  u32 rows_begin() const {
+    return p_.n * static_cast<u32>(p_.rank) / static_cast<u32>(p_.size);
+  }
+  u32 rows_end() const {
+    return p_.n * static_cast<u32>(p_.rank + 1) / static_cast<u32>(p_.size);
+  }
+  u32 local_rows() const { return rows_end() - rows_begin(); }
+
+  double* grid(os::Syscalls& sys);
+
+  Params p_;
+  mpi::MpiComm comm_;
+  u32 pc_ = INIT;
+  u32 step_ = 0;
+  bool initialized_grid_ = false;
+  bool got_up_ = false;
+  bool got_down_ = false;
+  double norm_ = 0;
+  double initial_norm_ = 0;
+  std::vector<double> reduced_;
+};
+
+}  // namespace zapc::apps

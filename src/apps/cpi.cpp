@@ -1,0 +1,104 @@
+#include "apps/cpi.h"
+
+#include <cmath>
+
+#include "os/san.h"
+
+namespace zapc::apps {
+
+os::StepResult CpiProgram::step(os::Syscalls& sys) {
+  using os::StepResult;
+  switch (pc_) {
+    case INIT: {
+      sys.region("workspace", p_.workspace_bytes);
+      if (!comm_.try_init(sys)) return wait_comm(comm_);
+      pc_ = COMPUTE;
+      return StepResult::yield();
+    }
+    case COMPUTE: {
+      // Integrate a chunk of intervals: x_i = (i + 0.5)/N, strided by
+      // rank so the work divides evenly.
+      const double h = 1.0 / static_cast<double>(p_.intervals);
+      u64 done = 0;
+      while (next_i_ < p_.intervals && done < p_.intervals_per_step) {
+        double x = (static_cast<double>(next_i_) + 0.5) * h;
+        local_sum_ += 4.0 / (1.0 + x * x);
+        next_i_ += static_cast<u64>(p_.size);
+        ++done;
+      }
+      if (next_i_ < p_.intervals) {
+        return StepResult::yield(p_.cost_per_step);
+      }
+      pc_ = REDUCE;
+      return StepResult::yield(p_.cost_per_step);
+    }
+    case REDUCE: {
+      const double h = 1.0 / static_cast<double>(p_.intervals);
+      if (!comm_.try_allreduce_sum(sys, {local_sum_ * h}, &reduced_)) {
+        if (comm_.failed()) return StepResult::exit(2);
+        return wait_comm(comm_);
+      }
+      last_pi_ = reduced_[0];
+      pc_ = DONE_ROUND;
+      return StepResult::yield();
+    }
+    case DONE_ROUND: {
+      ++round_;
+      if (round_ < p_.rounds) {
+        next_i_ = static_cast<u64>(p_.rank);
+        local_sum_ = 0;
+        pc_ = COMPUTE;
+        return StepResult::yield();
+      }
+      pc_ = FINISH;
+      return StepResult::yield();
+    }
+    case FINISH: {
+      if (p_.rank == 0) {
+        // Verifiable output: |pi - PI| should be tiny.
+        Encoder e;
+        e.put_f64(last_pi_);
+        sys.san().write("results/cpi", e.take());
+      }
+      return StepResult::exit(std::abs(last_pi_ - M_PI) < 1e-6 ? 0 : 3);
+    }
+    default:
+      return StepResult::exit(9);
+  }
+}
+
+void CpiProgram::save(Encoder& e) const {
+  e.put_i32(p_.rank);
+  e.put_i32(p_.size);
+  e.put_u64(p_.intervals);
+  e.put_u32(p_.rounds);
+  e.put_u64(p_.intervals_per_step);
+  e.put_u64(p_.cost_per_step);
+  e.put_u64(p_.workspace_bytes);
+  comm_.save(e);
+  e.put_u32(pc_);
+  e.put_u32(round_);
+  e.put_u64(next_i_);
+  e.put_f64(local_sum_);
+  e.put_f64(last_pi_);
+}
+
+void CpiProgram::load(Decoder& d) {
+  p_.rank = d.i32_().value_or(0);
+  p_.size = d.i32_().value_or(1);
+  p_.intervals = d.u64_().value_or(1);
+  p_.rounds = d.u32_().value_or(1);
+  p_.intervals_per_step = d.u64_().value_or(1);
+  p_.cost_per_step = d.u64_().value_or(1);
+  p_.workspace_bytes = d.u64_().value_or(0);
+  comm_.load(d);
+  pc_ = d.u32_().value_or(0);
+  round_ = d.u32_().value_or(0);
+  next_i_ = d.u64_().value_or(0);
+  local_sum_ = d.f64_().value_or(0);
+  last_pi_ = d.f64_().value_or(0);
+}
+
+}  // namespace zapc::apps
+
+ZAPC_REGISTER_PROGRAM(app_cpi, zapc::apps::CpiProgram)

@@ -1,0 +1,113 @@
+#include "apps/launcher.h"
+
+namespace zapc::apps {
+
+pod::Pod* JobHandle::locate(const std::string& pod_name) const {
+  for (core::Agent* a : all_agents) {
+    pod::Pod* p = a->find_pod(pod_name);
+    if (p != nullptr) return p;
+  }
+  return nullptr;
+}
+
+bool JobHandle::finished() const {
+  for (std::size_t i = 0; i < pod_names.size(); ++i) {
+    pod::Pod* p = locate(pod_names[i]);
+    if (p == nullptr) return false;
+    os::Process* proc = p->find_process(vpids[i]);
+    if (proc == nullptr || proc->state() != os::ProcState::EXITED) {
+      return false;
+    }
+  }
+  return true;
+}
+
+i32 JobHandle::exit_code() const {
+  if (!finished()) return -1;
+  i32 worst = 0;
+  for (std::size_t i = 0; i < pod_names.size(); ++i) {
+    os::Process* proc = locate(pod_names[i])->find_process(vpids[i]);
+    worst = std::max(worst, proc->exit_code());
+  }
+  return worst;
+}
+
+std::vector<core::Manager::Target> JobHandle::targets(
+    const std::vector<core::Agent*>& agent_of,
+    const std::vector<std::string>& uris) const {
+  std::vector<core::Manager::Target> out;
+  for (std::size_t i = 0; i < pod_names.size(); ++i) {
+    out.push_back(core::Manager::Target{agent_of[i]->addr(), pod_names[i],
+                                        uris[i]});
+  }
+  return out;
+}
+
+std::vector<core::Manager::Target> JobHandle::san_targets(
+    const std::string& prefix) const {
+  std::vector<core::Agent*> agent_of = hosts();
+  std::vector<std::string> uris;
+  for (const auto& pn : pod_names) uris.push_back("san://" + prefix + pn);
+  return targets(agent_of, uris);
+}
+
+std::vector<core::Agent*> JobHandle::hosts() const {
+  std::vector<core::Agent*> out;
+  for (const auto& pn : pod_names) {
+    core::Agent* host = nullptr;
+    for (core::Agent* a : all_agents) {
+      if (a->find_pod(pn) != nullptr) host = a;
+    }
+    out.push_back(host);
+  }
+  return out;
+}
+
+JobHandle launch_mpi_job(
+    const std::vector<core::Agent*>& agents, const std::string& job_name,
+    i32 nranks,
+    const std::function<std::unique_ptr<os::Program>(i32)>& make_rank) {
+  JobHandle job;
+  job.name = job_name;
+  job.all_agents = agents;
+  job.vips = job_vips(nranks);
+  for (i32 r = 0; r < nranks; ++r) {
+    core::Agent* agent = agents[static_cast<std::size_t>(r) % agents.size()];
+    std::string pod_name = job_name + "-r" + std::to_string(r);
+    pod::Pod& pod = agent->create_pod(job.vips[static_cast<std::size_t>(r)],
+                                      pod_name);
+    job.pod_names.push_back(pod_name);
+    job.vpids.push_back(pod.spawn(make_rank(r)));
+  }
+  return job;
+}
+
+JobHandle launch_pvm_job(
+    const std::vector<core::Agent*>& agents, const std::string& job_name,
+    i32 workers,
+    const std::function<std::unique_ptr<os::Program>()>& make_master,
+    const std::function<std::unique_ptr<os::Program>(i32)>& make_worker) {
+  JobHandle job;
+  job.name = job_name;
+  job.all_agents = agents;
+  job.vips = job_vips(workers + 1);
+
+  core::Agent* magent = agents[0];
+  std::string mname = job_name + "-master";
+  pod::Pod& mpod = magent->create_pod(job.vips[0], mname);
+  job.pod_names.push_back(mname);
+  job.vpids.push_back(mpod.spawn(make_master()));
+
+  for (i32 w = 0; w < workers; ++w) {
+    core::Agent* agent =
+        agents[static_cast<std::size_t>(w + 1) % agents.size()];
+    std::string wname = job_name + "-w" + std::to_string(w);
+    pod::Pod& wpod = agent->create_pod(
+        job.vips[static_cast<std::size_t>(w + 1)], wname);
+    job.pod_names.push_back(wname);
+    job.vpids.push_back(wpod.spawn(make_worker(w)));
+  }
+  return job;
+}
+
+}  // namespace zapc::apps

@@ -1,0 +1,62 @@
+// Job launcher: places application endpoints into pods across the
+// cluster's agents (paper §3: "ideally placing each application endpoint
+// in a separate pod ... the pod is the minimal unit of migration").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/mpi_app.h"
+#include "core/agent.h"
+#include "core/manager.h"
+
+namespace zapc::apps {
+
+/// A launched distributed job: one pod per endpoint.
+struct JobHandle {
+  std::string name;
+  std::vector<std::string> pod_names;    // one per endpoint
+  std::vector<net::IpAddr> vips;
+  std::vector<i32> vpids;                // process in its pod
+  std::vector<core::Agent*> all_agents;  // where pods may live
+
+  /// Finds the pod wherever it currently lives (it migrates!).
+  pod::Pod* locate(const std::string& pod_name) const;
+
+  /// True when every endpoint's process has exited.
+  bool finished() const;
+  /// Worst exit code across endpoints (-1 if not finished).
+  i32 exit_code() const;
+
+  /// Manager «node, pod, URI» tuples for a checkpoint/restart of this
+  /// job.  `agent_of[i]` selects which agent handles pod i; uris[i] the
+  /// destination/source.
+  std::vector<core::Manager::Target> targets(
+      const std::vector<core::Agent*>& agent_of,
+      const std::vector<std::string>& uris) const;
+  /// Convenience: same agent layout as launch, san://ckpt/<pod> URIs.
+  std::vector<core::Manager::Target> san_targets(
+      const std::string& prefix = "ckpt/") const;
+
+  /// Agents currently hosting each pod (in endpoint order).
+  std::vector<core::Agent*> hosts() const;
+};
+
+/// Launches an n-rank MPI job, one pod per rank, assigned to agents
+/// round-robin.  `make_rank` builds the program for a rank.
+JobHandle launch_mpi_job(
+    const std::vector<core::Agent*>& agents, const std::string& job_name,
+    i32 nranks,
+    const std::function<std::unique_ptr<os::Program>(i32 rank)>& make_rank);
+
+/// Launches a PVM-style master/worker job: endpoint 0 is the master, the
+/// remaining `workers` endpoints are workers.
+JobHandle launch_pvm_job(
+    const std::vector<core::Agent*>& agents, const std::string& job_name,
+    i32 workers,
+    const std::function<std::unique_ptr<os::Program>()>& make_master,
+    const std::function<std::unique_ptr<os::Program>(i32 idx)>& make_worker);
+
+}  // namespace zapc::apps

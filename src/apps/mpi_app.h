@@ -1,0 +1,40 @@
+// Shared plumbing for the MPI-based benchmark applications.
+#pragma once
+
+#include "mpi/comm.h"
+#include "os/program.h"
+
+namespace zapc::apps {
+
+/// Blocks the calling program on the comm's sockets (with a safety
+/// timeout so retransmission stalls resolve).
+inline os::StepResult wait_comm(const mpi::MpiComm& comm,
+                                sim::Time cost = 1) {
+  os::WaitSpec w;
+  w.fds = comm.wait_fds();
+  w.sleep_for = 50 * sim::kMillisecond;  // re-poll even if no event
+  return os::StepResult::block(std::move(w), cost);
+}
+
+/// Virtual addresses for an n-rank job: 10.77.1.1 .. 10.77.1.n.
+inline std::vector<net::IpAddr> job_vips(i32 n) {
+  std::vector<net::IpAddr> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (i32 i = 0; i < n; ++i) {
+    v.push_back(net::IpAddr(10, 77, 1, static_cast<u8>(i + 1)));
+  }
+  return v;
+}
+
+/// Builds the MpiConfig for one rank of an n-rank job.
+inline mpi::MpiConfig job_config(i32 rank, i32 size,
+                                 u16 base_port = 5200) {
+  mpi::MpiConfig cfg;
+  cfg.rank = rank;
+  cfg.size = size;
+  cfg.base_port = base_port;
+  cfg.rank_vips = job_vips(size);
+  return cfg;
+}
+
+}  // namespace zapc::apps

@@ -1,0 +1,88 @@
+// POV-Ray analogue: master/worker distributed ray tracer over mini-PVM
+// (paper §6 workload 4).
+//
+// The master builds a list of scanline-band tasks, farms them to the
+// workers on demand, assembles the framebuffer, verifies coverage and
+// writes the image to shared storage.  Workers render bands with the
+// real ray-tracing kernel in apps/ray_scene.h.
+#pragma once
+
+#include "os/program.h"
+#include "pvm/pvm.h"
+
+namespace zapc::apps {
+
+class RayMaster final : public os::Program {
+ public:
+  struct Params {
+    u16 port = 5600;
+    i32 workers = 1;
+    u32 width = 640;
+    u32 height = 480;
+    u32 band_rows = 16;  // rows per task
+  };
+
+  RayMaster() = default;
+  explicit RayMaster(Params p) : p_(p), pvm_(p.port, p.workers) {}
+
+  const char* kind() const override { return "apps.ray_master"; }
+
+  os::StepResult step(os::Syscalls& sys) override;
+
+  void save(Encoder& e) const override;
+  void load(Decoder& d) override;
+
+  u32 bands_done() const { return collected_; }
+  u32 bands_total() const {
+    return (p_.height + p_.band_rows - 1) / p_.band_rows;
+  }
+
+  /// Poison task id telling workers to exit.
+  static constexpr u32 kPoisonTask = 0xFFFFFFFF;
+
+ private:
+  enum Pc : u32 { INIT = 0, SUBMIT, COLLECT, SHUTDOWN, FINISH };
+
+  Params p_;
+  pvm::PvmMaster pvm_;
+  u32 pc_ = INIT;
+  u32 collected_ = 0;
+};
+
+class RayWorker final : public os::Program {
+ public:
+  struct Params {
+    net::SockAddr master;
+    u32 width = 640;
+    u32 rows_per_step = 4;        // rendered rows per scheduler step
+    sim::Time cost_per_row = 600;  // modeled CPU time per row (us)
+    u64 scene_bytes = 9 << 20;    // POV-Ray's roughly constant footprint
+  };
+
+  RayWorker() = default;
+  explicit RayWorker(Params p) : p_(p), pvm_(p.master) {}
+
+  const char* kind() const override { return "apps.ray_worker"; }
+
+  os::StepResult step(os::Syscalls& sys) override;
+
+  void save(Encoder& e) const override;
+  void load(Decoder& d) override;
+
+  u32 tasks_done() const { return tasks_done_; }
+
+ private:
+  enum Pc : u32 { INIT = 0, GET_TASK, RENDER, POST };
+
+  Params p_;
+  pvm::PvmWorker pvm_;
+  u32 pc_ = INIT;
+  u32 tasks_done_ = 0;
+  // Current task.
+  u32 task_id_ = 0;
+  u32 y0_ = 0, y1_ = 0, height_ = 0;
+  u32 next_row_ = 0;
+  Bytes band_;
+};
+
+}  // namespace zapc::apps

@@ -1,0 +1,144 @@
+// A small but real ray tracer: the rendering kernel of the POV-Ray
+// analogue (paper §6 workload 4 — "a CPU-intensive ray-tracing
+// application that fully exploits cluster parallelism").
+//
+// Procedural scene: three shaded spheres above a checkered plane, one
+// point light, hard shadows, and a single reflection bounce.  Fully
+// deterministic so rendered bands are verifiable across
+// checkpoint-restart.
+#pragma once
+
+#include <cmath>
+
+#include "util/types.h"
+
+namespace zapc::apps::ray {
+
+struct Vec {
+  double x = 0, y = 0, z = 0;
+
+  Vec operator+(const Vec& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec operator-(const Vec& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+  Vec unit() const {
+    double n = norm();
+    return n > 0 ? *this * (1.0 / n) : *this;
+  }
+  Vec mul(const Vec& o) const { return {x * o.x, y * o.y, z * o.z}; }
+};
+
+struct Sphere {
+  Vec center;
+  double radius;
+  Vec color;
+  double reflect;
+};
+
+struct Hit {
+  double t = 1e30;
+  Vec point, normal, color;
+  double reflect = 0;
+  bool ok = false;
+};
+
+inline const Sphere* scene_spheres(int* count) {
+  static const Sphere spheres[] = {
+      {{0.0, 1.0, 0.0}, 1.0, {0.9, 0.2, 0.2}, 0.35},
+      {{-2.1, 0.7, 1.0}, 0.7, {0.2, 0.9, 0.3}, 0.2},
+      {{1.9, 0.6, -0.6}, 0.6, {0.2, 0.4, 0.95}, 0.25},
+  };
+  *count = 3;
+  return spheres;
+}
+
+inline Hit intersect(const Vec& origin, const Vec& dir) {
+  Hit best;
+  int count = 0;
+  const Sphere* spheres = scene_spheres(&count);
+  for (int i = 0; i < count; ++i) {
+    const Sphere& s = spheres[i];
+    Vec oc = origin - s.center;
+    double b = oc.dot(dir);
+    double c = oc.dot(oc) - s.radius * s.radius;
+    double disc = b * b - c;
+    if (disc < 0) continue;
+    double t = -b - std::sqrt(disc);
+    if (t > 1e-4 && t < best.t) {
+      best.t = t;
+      best.point = origin + dir * t;
+      best.normal = (best.point - s.center).unit();
+      best.color = s.color;
+      best.reflect = s.reflect;
+      best.ok = true;
+    }
+  }
+  // Checkered ground plane y = 0.
+  if (dir.y < -1e-9) {
+    double t = -origin.y / dir.y;
+    if (t > 1e-4 && t < best.t) {
+      best.t = t;
+      best.point = origin + dir * t;
+      best.normal = {0, 1, 0};
+      int cx = static_cast<int>(std::floor(best.point.x));
+      int cz = static_cast<int>(std::floor(best.point.z));
+      bool dark = ((cx + cz) & 1) != 0;
+      best.color = dark ? Vec{0.25, 0.25, 0.25} : Vec{0.85, 0.85, 0.85};
+      best.reflect = 0.1;
+      best.ok = true;
+    }
+  }
+  return best;
+}
+
+inline Vec shade(const Vec& origin, const Vec& dir, int depth) {
+  Hit h = intersect(origin, dir);
+  if (!h.ok) {
+    // Sky gradient.
+    double t = 0.5 * (dir.y + 1.0);
+    return Vec{0.6, 0.75, 1.0} * t + Vec{1.0, 1.0, 1.0} * (1.0 - t);
+  }
+  const Vec light{5, 5, -5};
+  Vec to_light = (light - h.point).unit();
+
+  // Hard shadow.
+  Hit blocker = intersect(h.point + h.normal * 1e-4, to_light);
+  double shadow = blocker.ok ? 0.25 : 1.0;
+
+  double diffuse = std::max(0.0, h.normal.dot(to_light));
+  Vec refl_dir = dir - h.normal * (2.0 * dir.dot(h.normal));
+  double spec =
+      std::pow(std::max(0.0, refl_dir.unit().dot(to_light)), 32.0);
+
+  Vec color = h.color * (0.15 + 0.85 * diffuse * shadow) +
+              Vec{1, 1, 1} * (0.4 * spec * shadow);
+  if (depth > 0 && h.reflect > 0) {
+    Vec bounce = shade(h.point + h.normal * 1e-4, refl_dir.unit(),
+                       depth - 1);
+    color = color * (1.0 - h.reflect) + bounce * h.reflect;
+  }
+  return color;
+}
+
+/// Renders rows [y0, y1) of a width×height image into rgb (3 bytes per
+/// pixel, row-major within the band).
+inline void render_band(u32 width, u32 height, u32 y0, u32 y1, u8* rgb) {
+  const Vec eye{0, 1.2, -4.5};
+  const double aspect =
+      static_cast<double>(width) / static_cast<double>(height);
+  std::size_t idx = 0;
+  for (u32 y = y0; y < y1; ++y) {
+    for (u32 x = 0; x < width; ++x) {
+      double u = (2.0 * (x + 0.5) / width - 1.0) * aspect;
+      double v = 1.0 - 2.0 * (y + 0.5) / height;
+      Vec dir = Vec{u, v * 0.75 + 0.1, 1.6}.unit();
+      Vec c = shade(eye, dir, 1);
+      rgb[idx++] = static_cast<u8>(std::min(1.0, c.x) * 255);
+      rgb[idx++] = static_cast<u8>(std::min(1.0, c.y) * 255);
+      rgb[idx++] = static_cast<u8>(std::min(1.0, c.z) * 255);
+    }
+  }
+}
+
+}  // namespace zapc::apps::ray

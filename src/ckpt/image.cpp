@@ -1,0 +1,364 @@
+#include "ckpt/image.h"
+
+namespace zapc::ckpt {
+namespace {
+
+constexpr u32 kImageMagic = 0x5A415043;  // "ZAPC"
+constexpr u16 kFormatVersion = 1;
+
+void put_addr(Encoder& e, const net::SockAddr& a) {
+  e.put_u32(a.ip.v);
+  e.put_u16(a.port);
+}
+
+net::SockAddr get_addr(Decoder& d) {
+  net::SockAddr a;
+  a.ip.v = d.u32_().value_or(0);
+  a.port = d.u16_().value_or(0);
+  return a;
+}
+
+Bytes encode_header(const PodImageHeader& h) {
+  Encoder e;
+  e.put_u32(kImageMagic);
+  e.put_string(h.pod_name);
+  e.put_u32(h.vip.v);
+  e.put_i32(h.next_vpid);
+  e.put_bool(h.time_virt);
+  e.put_u64(h.ckpt_virtual_time);
+  e.put_i64(h.time_delta);
+  return e.take();
+}
+
+Result<PodImageHeader> decode_header(const Bytes& b) {
+  Decoder d(b);
+  auto magic = d.u32_();
+  if (!magic || magic.value() != kImageMagic) {
+    return Status(Err::PROTO, "bad image magic");
+  }
+  PodImageHeader h;
+  h.pod_name = d.string_().value_or("");
+  h.vip.v = d.u32_().value_or(0);
+  h.next_vpid = d.i32_().value_or(1);
+  h.time_virt = d.bool_().value_or(true);
+  h.ckpt_virtual_time = d.u64_().value_or(0);
+  h.time_delta = d.i64_().value_or(0);
+  return h;
+}
+
+Bytes encode_socket(const SocketImage& s) {
+  Encoder e;
+  e.put_u32(s.old_id);
+  e.put_u8(static_cast<u8>(s.proto));
+  e.put_u32(static_cast<u32>(s.params.size()));
+  for (i64 v : s.params) e.put_i64(v);
+  put_addr(e, s.local);
+  put_addr(e, s.remote);
+  e.put_bool(s.bound);
+  e.put_bool(s.owns_port);
+  e.put_bool(s.listener);
+  e.put_i32(s.backlog);
+  e.put_bool(s.connecting);
+  e.put_bool(s.connected);
+  e.put_bool(s.shut_rd);
+  e.put_bool(s.shut_wr);
+  e.put_bool(s.peer_closed);
+  e.put_u32(static_cast<u32>(s.recv_queue.size()));
+  for (const auto& item : s.recv_queue) {
+    e.put_bytes(item.data);
+    put_addr(e, item.from);
+    e.put_bool(item.oob);
+  }
+  e.put_bytes(s.send_queue);
+  e.put_bool(s.send_queue_redirected);
+  e.put_u32(s.pcb_sent);
+  e.put_u32(s.pcb_acked);
+  e.put_u32(s.pcb_recv);
+  e.put_u8(s.raw_proto);
+  return e.take();
+}
+
+Result<SocketImage> decode_socket(const Bytes& b) {
+  Decoder d(b);
+  SocketImage s;
+  s.old_id = d.u32_().value_or(0);
+  s.proto = static_cast<net::Proto>(d.u8_().value_or(6));
+  u32 nparams = d.count_(8).value_or(0xFFFFFFFF);
+  if (nparams == 0xFFFFFFFF) return Status(Err::PROTO, "bad param count");
+  for (u32 i = 0; i < nparams; ++i) {
+    i64 v = d.i64_().value_or(0);
+    if (i < s.params.size()) s.params[i] = v;
+  }
+  s.local = get_addr(d);
+  s.remote = get_addr(d);
+  s.bound = d.bool_().value_or(false);
+  s.owns_port = d.bool_().value_or(false);
+  s.listener = d.bool_().value_or(false);
+  s.backlog = d.i32_().value_or(0);
+  s.connecting = d.bool_().value_or(false);
+  s.connected = d.bool_().value_or(false);
+  s.shut_rd = d.bool_().value_or(false);
+  s.shut_wr = d.bool_().value_or(false);
+  s.peer_closed = d.bool_().value_or(false);
+  auto nitems_r = d.count_(11);
+  if (!nitems_r) return nitems_r.status();
+  u32 nitems = nitems_r.value();
+  for (u32 i = 0; i < nitems; ++i) {
+    SavedRecvItem item;
+    item.data = d.bytes_().value_or({});
+    item.from = get_addr(d);
+    item.oob = d.bool_().value_or(false);
+    s.recv_queue.push_back(std::move(item));
+  }
+  s.send_queue = d.bytes_().value_or({});
+  s.send_queue_redirected = d.bool_().value_or(false);
+  s.pcb_sent = d.u32_().value_or(0);
+  s.pcb_acked = d.u32_().value_or(0);
+  s.pcb_recv = d.u32_().value_or(0);
+  s.raw_proto = d.u8_().value_or(0);
+  if (!d.at_end()) return Status(Err::PROTO, "trailing socket bytes");
+  return s;
+}
+
+Bytes encode_process(const ProcessImage& p) {
+  Encoder e;
+  e.put_i32(p.vpid);
+  e.put_string(p.kind);
+  e.put_bool(p.exited);
+  e.put_i32(p.exit_code);
+  e.put_i32(p.next_fd);
+  e.put_bytes(p.program_state);
+  e.put_u32(static_cast<u32>(p.fds.size()));
+  for (const auto& [fd, sid] : p.fds) {
+    e.put_i32(fd);
+    e.put_u32(sid);
+  }
+  e.put_u32(static_cast<u32>(p.timer_remaining.size()));
+  for (const auto& [id, rem] : p.timer_remaining) {
+    e.put_u32(id);
+    e.put_i64(rem);
+  }
+  return e.take();
+}
+
+Result<ProcessImage> decode_process(const Bytes& b) {
+  Decoder d(b);
+  ProcessImage p;
+  p.vpid = d.i32_().value_or(0);
+  p.kind = d.string_().value_or("");
+  p.exited = d.bool_().value_or(false);
+  p.exit_code = d.i32_().value_or(0);
+  p.next_fd = d.i32_().value_or(3);
+  p.program_state = d.bytes_().value_or({});
+  auto nfds_r = d.count_(8);
+  if (!nfds_r) return nfds_r.status();
+  u32 nfds = nfds_r.value();
+  for (u32 i = 0; i < nfds; ++i) {
+    int fd = d.i32_().value_or(-1);
+    net::SockId sid = d.u32_().value_or(0);
+    p.fds[fd] = sid;
+  }
+  auto ntimers_r = d.count_(12);
+  if (!ntimers_r) return ntimers_r.status();
+  u32 ntimers = ntimers_r.value();
+  for (u32 i = 0; i < ntimers; ++i) {
+    u32 id = d.u32_().value_or(0);
+    i64 rem = d.i64_().value_or(0);
+    p.timer_remaining[id] = rem;
+  }
+  if (!d.at_end()) return Status(Err::PROTO, "trailing process bytes");
+  return p;
+}
+
+Bytes encode_meta_payload(const NetMeta& m) {
+  Encoder e;
+  e.put_u32(m.pod_vip.v);
+  e.put_u32(static_cast<u32>(m.entries.size()));
+  for (const auto& entry : m.entries) {
+    e.put_u32(entry.sock);
+    e.put_u8(static_cast<u8>(entry.proto));
+    put_addr(e, entry.source);
+    put_addr(e, entry.target);
+    e.put_u8(static_cast<u8>(entry.state));
+    e.put_u8(static_cast<u8>(entry.role));
+    e.put_u32(entry.pcb_sent);
+    e.put_u32(entry.pcb_acked);
+    e.put_u32(entry.pcb_recv);
+    e.put_u32(entry.discard_send);
+    e.put_bool(entry.redirect_expected);
+  }
+  return e.take();
+}
+
+Result<NetMeta> decode_meta_payload(const Bytes& b) {
+  Decoder d(b);
+  NetMeta m;
+  m.pod_vip.v = d.u32_().value_or(0);
+  auto n_r = d.count_(30);
+  if (!n_r) return n_r.status();
+  u32 n = n_r.value();
+  for (u32 i = 0; i < n; ++i) {
+    NetMetaEntry entry;
+    entry.sock = d.u32_().value_or(0);
+    entry.proto = static_cast<net::Proto>(d.u8_().value_or(6));
+    entry.source = get_addr(d);
+    entry.target = get_addr(d);
+    entry.state = static_cast<ConnState>(d.u8_().value_or(0));
+    entry.role = static_cast<PeerRole>(d.u8_().value_or(0));
+    entry.pcb_sent = d.u32_().value_or(0);
+    entry.pcb_acked = d.u32_().value_or(0);
+    entry.pcb_recv = d.u32_().value_or(0);
+    entry.discard_send = d.u32_().value_or(0);
+    entry.redirect_expected = d.bool_().value_or(false);
+    m.entries.push_back(entry);
+  }
+  if (!d.at_end()) return Status(Err::PROTO, "trailing meta bytes");
+  return m;
+}
+
+}  // namespace
+
+const char* conn_state_name(ConnState s) {
+  switch (s) {
+    case ConnState::FULL_DUPLEX: return "full-duplex";
+    case ConnState::HALF_DUPLEX: return "half-duplex";
+    case ConnState::CLOSED: return "closed";
+    case ConnState::CONNECTING: return "connecting";
+    case ConnState::LISTENER: return "listener";
+  }
+  return "?";
+}
+
+std::size_t SocketImage::byte_size() const {
+  std::size_t n = send_queue.size() + 128;  // queue + fixed fields
+  for (const auto& item : recv_queue) n += item.data.size() + 12;
+  return n;
+}
+
+std::size_t PodImage::total_bytes() const {
+  return encode_image(*this).size();
+}
+
+std::size_t PodImage::network_bytes() const {
+  std::size_t n = encode_meta_payload(meta).size();
+  for (const auto& s : sockets) n += s.byte_size();
+  for (const auto& [sid, data] : redirected_recv) n += data.size();
+  return n;
+}
+
+Bytes encode_image(const PodImage& image) {
+  RecordWriter w;
+  w.write(RecordTag::IMAGE_HEADER, kFormatVersion,
+          encode_header(image.header));
+  // Network state precedes process state (paper §4: the network
+  // checkpoint runs first so it can overlap the Manager barrier).
+  w.write(RecordTag::NET_META, kFormatVersion,
+          encode_meta_payload(image.meta));
+  for (const auto& s : image.sockets) {
+    w.write(RecordTag::SOCKET_PARAMS, kFormatVersion, encode_socket(s));
+  }
+  if (image.has_gm_device) {
+    w.write(RecordTag::GM_DEVICE, kFormatVersion, image.gm_state);
+  }
+  for (const auto& [sid, data] : image.redirected_recv) {
+    Encoder e;
+    e.put_u32(sid);
+    e.put_bytes(data);
+    w.write(RecordTag::REDIRECTED_SEND_Q, kFormatVersion, e.take());
+  }
+  for (const auto& p : image.processes) {
+    w.write(RecordTag::PROCESS, kFormatVersion, encode_process(p));
+    for (const auto& [name, bytes] : p.regions) {
+      Encoder e;
+      e.put_i32(p.vpid);
+      e.put_string(name);
+      e.put_bytes(bytes);
+      w.write(RecordTag::MEM_REGION, kFormatVersion, e.take());
+    }
+  }
+  w.write(RecordTag::IMAGE_END, kFormatVersion, Bytes{});
+  return w.take();
+}
+
+Result<PodImage> decode_image(const Bytes& data) {
+  PodImage image;
+  RecordReader r(data);
+  bool have_header = false;
+  bool ended = false;
+  std::map<i32, std::size_t> proc_index;
+
+  while (!r.at_end() && !ended) {
+    auto rec = r.next();
+    if (!rec) return rec.status();
+    const Record& record = rec.value();
+    switch (record.tag) {
+      case RecordTag::IMAGE_HEADER: {
+        auto h = decode_header(record.payload);
+        if (!h) return h.status();
+        image.header = h.value();
+        have_header = true;
+        break;
+      }
+      case RecordTag::NET_META: {
+        auto m = decode_meta_payload(record.payload);
+        if (!m) return m.status();
+        image.meta = m.value();
+        break;
+      }
+      case RecordTag::SOCKET_PARAMS: {
+        auto s = decode_socket(record.payload);
+        if (!s) return s.status();
+        image.sockets.push_back(std::move(s).value());
+        break;
+      }
+      case RecordTag::GM_DEVICE: {
+        image.has_gm_device = true;
+        image.gm_state = record.payload;
+        break;
+      }
+      case RecordTag::REDIRECTED_SEND_Q: {
+        Decoder d(record.payload);
+        net::SockId sid = d.u32_().value_or(0);
+        Bytes b = d.bytes_().value_or({});
+        append_bytes(image.redirected_recv[sid], b);
+        break;
+      }
+      case RecordTag::PROCESS: {
+        auto p = decode_process(record.payload);
+        if (!p) return p.status();
+        proc_index[p.value().vpid] = image.processes.size();
+        image.processes.push_back(std::move(p).value());
+        break;
+      }
+      case RecordTag::MEM_REGION: {
+        Decoder d(record.payload);
+        i32 vpid = d.i32_().value_or(0);
+        std::string name = d.string_().value_or("");
+        Bytes bytes = d.bytes_().value_or({});
+        auto it = proc_index.find(vpid);
+        if (it == proc_index.end()) {
+          return Status(Err::PROTO, "region for unknown vpid");
+        }
+        image.processes[it->second].regions[name] = std::move(bytes);
+        break;
+      }
+      case RecordTag::IMAGE_END:
+        ended = true;
+        break;
+      default:
+        // Unknown record types are skipped (forward compatibility).
+        break;
+    }
+  }
+  if (!have_header) return Status(Err::PROTO, "missing image header");
+  if (!ended) return Status(Err::PROTO, "missing image terminator");
+  return image;
+}
+
+Bytes encode_meta(const NetMeta& meta) { return encode_meta_payload(meta); }
+
+Result<NetMeta> decode_meta(const Bytes& data) {
+  return decode_meta_payload(data);
+}
+
+}  // namespace zapc::ckpt

@@ -1,0 +1,178 @@
+// Checkpoint image format.
+//
+// A pod checkpoint is a sequence of typed, versioned, CRC-protected
+// records (util/serialize.h) carrying "higher-level semantic information
+// specified in an intermediate format rather than kernel specific data in
+// native format" (paper §3).  This header defines the in-memory form of
+// every record and the encode/decode functions; the capture/apply logic
+// lives in ckpt/standalone.* (process state) and core/netckpt.* (network
+// state).
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/socket.h"
+#include "net/sockopt.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace zapc::ckpt {
+
+/// Connection state as recorded in the network meta-data table (paper §4:
+/// "full-duplex, half-duplex, closed (in which case there may still be
+/// unread data), or connecting").  LISTENER entries describe listening
+/// sockets that must be re-created before connections are re-formed.
+enum class ConnState : u8 {
+  FULL_DUPLEX = 0,
+  HALF_DUPLEX = 1,
+  CLOSED = 2,
+  CONNECTING = 3,
+  LISTENER = 4,
+};
+
+const char* conn_state_name(ConnState s);
+
+/// Role assigned by the Manager's restart schedule (paper §4: each entry
+/// is tagged "connect" or "accept"; arbitrary unless source ports are
+/// shared, in which case the sharing side must accept).
+enum class PeerRole : u8 { CONNECT = 0, ACCEPT = 1 };
+
+/// One row of the per-pod network meta-data table the Agent reports to
+/// the Manager.
+struct NetMetaEntry {
+  net::SockId sock = 0;        // socket id within the pod's stack
+  net::Proto proto = net::Proto::TCP;
+  net::SockAddr source;        // connection endpoint on this pod
+  net::SockAddr target;        // remote endpoint (unset for listeners)
+  ConnState state = ConnState::FULL_DUPLEX;
+  PeerRole role = PeerRole::CONNECT;  // filled by the Manager for restart
+
+  // The minimal protocol-specific state (paper §5): local PCB sequence
+  // numbers reported with the meta-data so the Manager can compute the
+  // send/receive queue overlap across the two peers.
+  u32 pcb_sent = 0;
+  u32 pcb_acked = 0;
+  u32 pcb_recv = 0;
+  /// Bytes to discard from the head of this side's restored send queue
+  /// (= peer.recv − self.acked); computed by the Manager for restart.
+  u32 discard_send = 0;
+  /// Migration redirect: the peer's agent shipped its send-queue contents
+  /// directly to this side's agent; the restore must wait for that
+  /// (possibly empty) record before restoring this socket.
+  bool redirect_expected = false;
+};
+
+/// Complete meta-data table for one pod.
+struct NetMeta {
+  net::IpAddr pod_vip;
+  std::vector<NetMetaEntry> entries;
+};
+
+/// One queued receive item (restored via the alternate receive queue).
+struct SavedRecvItem {
+  Bytes data;
+  net::SockAddr from;
+  bool oob = false;
+};
+
+/// Full saved state of one socket.
+struct SocketImage {
+  net::SockId old_id = 0;
+  net::Proto proto = net::Proto::TCP;
+
+  // Socket parameters, captured via the getsockopt interface (paper §5
+  // saves "the entire set of the parameters").
+  std::array<i64, net::kNumSockOpts> params{};
+
+  net::SockAddr local;
+  net::SockAddr remote;
+  bool bound = false;
+  bool owns_port = false;
+
+  // Shape of the endpoint.
+  bool listener = false;
+  int backlog = 0;
+  bool connecting = false;   // SYN_SENT at checkpoint
+  bool connected = false;    // TCP ESTABLISHED-ish or UDP connect()ed
+  bool shut_rd = false;
+  bool shut_wr = false;      // our side sent FIN
+  bool peer_closed = false;  // peer's FIN received
+
+  // Queues.
+  std::vector<SavedRecvItem> recv_queue;  // main + alternate, in order
+  Bytes send_queue;                       // unacked + unsent bytes
+  bool send_queue_redirected = false;     // migration redirect optimization
+
+  // Minimal protocol-specific state (paper §5): the PCB sequence triple.
+  u32 pcb_sent = 0;
+  u32 pcb_acked = 0;
+  u32 pcb_recv = 0;
+
+  // RAW sockets.
+  u8 raw_proto = 0;
+
+  std::size_t byte_size() const;
+};
+
+/// Saved state of one process (standalone / Zap part).
+struct ProcessImage {
+  i32 vpid = 0;
+  std::string kind;          // ProgramRegistry key
+  bool exited = false;
+  i32 exit_code = 0;
+  int next_fd = 3;
+  Bytes program_state;       // Program::save blob
+  std::map<int, net::SockId> fds;          // fd -> old socket id
+  std::map<std::string, Bytes> regions;    // bulk memory
+  std::map<u32, i64> timer_remaining;      // virtualized timers (paper §5)
+};
+
+/// Header record: identity plus the time-virtualization state needed to
+/// bias clocks at restart.
+struct PodImageHeader {
+  std::string pod_name;
+  net::IpAddr vip;
+  i32 next_vpid = 1;
+  bool time_virt = true;
+  u64 ckpt_virtual_time = 0;  // pod-visible time at checkpoint
+  i64 time_delta = 0;         // pod's accumulated bias at checkpoint
+};
+
+/// A whole parsed pod checkpoint.
+struct PodImage {
+  PodImageHeader header;
+  NetMeta meta;
+  std::vector<SocketImage> sockets;
+  std::vector<ProcessImage> processes;
+  /// Kernel-bypass (GM) device state, if the pod had one (paper §5
+  /// extension: "extract the state kept by the device driver").
+  bool has_gm_device = false;
+  Bytes gm_state;
+  /// Data redirected from peers' send queues (migration optimization):
+  /// appended to the given socket's restored receive queue.
+  std::map<net::SockId, Bytes> redirected_recv;
+
+  std::size_t total_bytes() const;
+  std::size_t network_bytes() const;  // socket + meta records only
+};
+
+// ---- Encoding / decoding ----------------------------------------------------
+
+/// Serializes a PodImage into the record stream format.
+Bytes encode_image(const PodImage& image);
+
+/// Parses a record stream back into a PodImage (Err::PROTO on corruption
+/// or unknown mandatory records).
+Result<PodImage> decode_image(const Bytes& data);
+
+/// Encodes just the meta-data table (sent to the Manager during
+/// checkpoint, step 2a).
+Bytes encode_meta(const NetMeta& meta);
+Result<NetMeta> decode_meta(const Bytes& data);
+
+}  // namespace zapc::ckpt

@@ -1,0 +1,114 @@
+#include "ckpt/standalone.h"
+
+#include "util/log.h"
+
+namespace zapc::ckpt {
+
+PodImageHeader Standalone::save_header(const pod::Pod& pod) {
+  PodImageHeader h;
+  h.pod_name = pod.name();
+  h.vip = pod.vip();
+  h.next_vpid = pod.next_vpid();
+  h.time_virt = pod.time_virtualization();
+  h.ckpt_virtual_time = pod.virtual_now();
+  h.time_delta = pod.time_delta();
+  return h;
+}
+
+ProcessImage Standalone::save_process(const pod::Pod& pod,
+                                      const os::Process& proc) {
+  ProcessImage img;
+  img.vpid = proc.vpid();
+  img.kind = proc.program().kind();
+  img.exited = proc.state() == os::ProcState::EXITED;
+  img.exit_code = proc.exit_code();
+  img.next_fd = proc.next_fd();
+
+  Encoder e;
+  proc.program().save(e);
+  img.program_state = e.take();
+
+  img.fds = proc.fd_table();
+  img.regions = proc.regions();
+
+  // Timers are stored in engine time; persist the *remaining* time so the
+  // restart re-arms them relative to its own clock (paper §5).
+  i64 now = static_cast<i64>(pod.engine_now());
+  for (const auto& [id, expiry] : proc.timers()) {
+    img.timer_remaining[id] = static_cast<i64>(expiry) - now;
+  }
+  return img;
+}
+
+std::vector<ProcessImage> Standalone::save_processes(pod::Pod& pod) {
+  std::vector<ProcessImage> out;
+  for (os::Process* p : pod.processes()) {
+    out.push_back(save_process(pod, *p));
+  }
+  return out;
+}
+
+void Standalone::restore_header(pod::Pod& pod, const PodImageHeader& header) {
+  pod.set_next_vpid(header.next_vpid);
+  pod.set_time_virtualization(header.time_virt);
+  if (header.time_virt) {
+    // Bias the pod clock so time appears continuous across the gap
+    // between checkpoint and restart.
+    i64 now = static_cast<i64>(pod.engine_now());
+    i64 target = static_cast<i64>(header.ckpt_virtual_time);
+    pod.add_time_delta(target - now - pod.time_delta());
+  }
+}
+
+Status Standalone::restore_process(pod::Pod& pod, const ProcessImage& image,
+                                   const SockMap& socks) {
+  auto prog = os::ProgramRegistry::instance().create(image.kind);
+  if (!prog) return prog.status();
+  {
+    Decoder d(image.program_state);
+    prog.value()->load(d);
+  }
+
+  os::Process& proc = pod.spawn_stopped(image.vpid, std::move(prog).value());
+  proc.set_next_fd(image.next_fd);
+  if (image.exited) {
+    proc.set_state(os::ProcState::EXITED);
+    proc.set_exit_code(image.exit_code);
+  }
+
+  for (const auto& [fd, old_sid] : image.fds) {
+    auto it = socks.find(old_sid);
+    if (it == socks.end()) {
+      return Status(Err::NO_ENT,
+                    "no restored socket for old id " +
+                        std::to_string(old_sid));
+    }
+    proc.fd_install_at(fd, it->second);
+  }
+  proc.set_next_fd(image.next_fd);
+
+  proc.regions_mut() = image.regions;
+
+  sim::Time now = pod.engine_now();
+  for (const auto& [id, remaining] : image.timer_remaining) {
+    i64 expiry = static_cast<i64>(now) + remaining;
+    proc.timers()[id] = expiry < 0 ? 0 : static_cast<sim::Time>(expiry);
+  }
+  return Status::ok();
+}
+
+Status Standalone::restore_processes(pod::Pod& pod,
+                                     const std::vector<ProcessImage>& images,
+                                     const SockMap& socks) {
+  for (const auto& img : images) {
+    Status st = restore_process(pod, img, socks);
+    if (!st) {
+      ZLOG_ERROR("restore of vpid " << img.vpid << " failed: "
+                                    << st.to_string());
+      return st;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace zapc::ckpt

@@ -1,0 +1,52 @@
+// Standalone pod checkpoint-restart (the Zap substrate of paper §3).
+//
+// Captures and restores all per-node, non-network application state:
+// process control state (program state machine, exit status), file
+// descriptor tables, bulk memory regions, application timers, and the
+// pod's namespace/time-virtualization state.  Network state is handled
+// separately by core/netckpt (the ZapC contribution); the two halves meet
+// in the PodImage container.
+#pragma once
+
+#include <unordered_map>
+
+#include "ckpt/image.h"
+#include "pod/pod.h"
+
+namespace zapc::ckpt {
+
+/// Maps old socket ids (from the image) to the sockets created during
+/// network-state restore.
+using SockMap = std::unordered_map<net::SockId, net::SockId>;
+
+class Standalone {
+ public:
+  /// Captures the pod header (namespace + time-virtualization state).
+  /// The pod must be suspended.
+  static PodImageHeader save_header(const pod::Pod& pod);
+
+  /// Captures one process: program state, fd table, memory, timers.
+  static ProcessImage save_process(const pod::Pod& pod,
+                                   const os::Process& proc);
+
+  /// Captures every process of the pod (sorted by vpid).
+  static std::vector<ProcessImage> save_processes(pod::Pod& pod);
+
+  /// Applies the header to a freshly created pod: vpid counter and the
+  /// time bias delta = (checkpoint virtual time) − (current time), so the
+  /// pod's clock resumes where it stopped (paper §5).
+  static void restore_header(pod::Pod& pod, const PodImageHeader& header);
+
+  /// Recreates one process in STOPPED state.  fd table entries are
+  /// remapped through `socks`; Err::NO_ENT if the program kind is not
+  /// registered or a socket id is missing.
+  static Status restore_process(pod::Pod& pod, const ProcessImage& image,
+                                const SockMap& socks);
+
+  /// Restores all processes.
+  static Status restore_processes(pod::Pod& pod,
+                                  const std::vector<ProcessImage>& images,
+                                  const SockMap& socks);
+};
+
+}  // namespace zapc::ckpt

@@ -1,0 +1,689 @@
+#include "core/agent.h"
+
+#include <algorithm>
+
+#include "core/netckpt.h"
+#include "net/tcp.h"
+#include "util/log.h"
+
+namespace zapc::core {
+namespace {
+
+/// Parses "san://<path>", "agent://<ip>:<port>/<tag>", "stream://<tag>".
+struct Uri {
+  std::string scheme;
+  std::string path;        // san path or stream tag
+  net::SockAddr endpoint;  // agent scheme only
+};
+
+Result<Uri> parse_uri(const std::string& s) {
+  auto sep = s.find("://");
+  if (sep == std::string::npos) return Status(Err::INVALID, "bad uri " + s);
+  Uri u;
+  u.scheme = s.substr(0, sep);
+  std::string rest = s.substr(sep + 3);
+  if (u.scheme == "san" || u.scheme == "stream") {
+    u.path = rest;
+    return u;
+  }
+  if (u.scheme == "agent") {
+    auto slash = rest.find('/');
+    if (slash == std::string::npos) {
+      return Status(Err::INVALID, "agent uri missing tag: " + s);
+    }
+    u.path = rest.substr(slash + 1);
+    std::string hostport = rest.substr(0, slash);
+    auto colon = hostport.find(':');
+    if (colon == std::string::npos) {
+      return Status(Err::INVALID, "agent uri missing port: " + s);
+    }
+    auto ip = net::IpAddr::parse(hostport.substr(0, colon));
+    if (!ip) return ip.status();
+    u.endpoint.ip = ip.value();
+    u.endpoint.port = static_cast<u16>(
+        std::stoul(hostport.substr(colon + 1)));
+    return u;
+  }
+  return Status(Err::INVALID, "unknown uri scheme: " + s);
+}
+
+constexpr std::size_t kStreamChunk = 256 * 1024;
+
+}  // namespace
+
+Agent::Agent(os::Node& node, u16 port, CostModel costs, Trace* trace)
+    : node_(node), port_(port), costs_(costs), trace_(trace) {
+  server_ = std::make_unique<MsgServer>(
+      node_.host_stack(), port_,
+      [this](std::unique_ptr<MsgChannel> ch) { on_accept(std::move(ch)); });
+}
+
+Agent::~Agent() { *alive_ = false; }
+
+net::SockAddr Agent::addr() const {
+  return net::SockAddr{node_.addr(), port_};
+}
+
+template <typename Fn>
+void Agent::after(sim::Time delay, Fn&& fn) {
+  node_.engine().schedule(
+      delay,
+      [alive = std::weak_ptr<bool>(alive_),
+       f = std::forward<Fn>(fn)]() mutable {
+        if (auto a = alive.lock(); a && *a) f();
+      });
+}
+
+void Agent::trace(const std::string& what) {
+  if (trace_ != nullptr) {
+    trace_->add(node_.now(), "agent@" + node_.name(), what);
+  }
+}
+
+// ---- Pod hosting ---------------------------------------------------------------
+
+pod::Pod& Agent::create_pod(net::IpAddr vip, const std::string& name) {
+  auto p = std::make_unique<pod::Pod>(node_, vip, name);
+  pod::Pod& ref = *p;
+  pods_[name] = std::move(p);
+  return ref;
+}
+
+pod::Pod* Agent::find_pod(const std::string& name) {
+  auto it = pods_.find(name);
+  return it == pods_.end() ? nullptr : it->second.get();
+}
+
+Status Agent::destroy_pod(const std::string& name) {
+  return pods_.erase(name) > 0 ? Status::ok() : Status(Err::NO_ENT, name);
+}
+
+bool Agent::busy() const {
+  for (const auto& c : conns_) {
+    if ((c.ckpt && !c.ckpt->finished) ||
+        (c.restart && !c.restart->finished)) {
+      return true;
+    }
+  }
+  return !waiting_restarts_.empty();
+}
+
+// ---- Connection handling ---------------------------------------------------------
+
+void Agent::on_accept(std::unique_ptr<MsgChannel> ch) {
+  conns_.push_back(Conn{std::move(ch), nullptr, nullptr, false});
+  Conn* conn = &conns_.back();
+  conn->ch->set_on_msg([this, conn](Bytes msg) { on_msg(conn, std::move(msg)); });
+  conn->ch->set_on_closed([this, conn] { on_closed(conn); });
+}
+
+void Agent::on_msg(Conn* conn, Bytes msg) {
+  auto type = peek_type(msg);
+  if (!type) return;
+  switch (type.value()) {
+    case MsgType::CHECKPOINT_CMD: {
+      auto cmd = decode_checkpoint_cmd(msg);
+      if (cmd) ckpt_begin(conn, std::move(cmd).value());
+      break;
+    }
+    case MsgType::CONTINUE: {
+      if (conn->ckpt) {
+        conn->ckpt->continue_received = true;
+        trace("3a: continue received for " + conn->ckpt->cmd.pod_name);
+        ckpt_maybe_finish(conn->ckpt);
+      }
+      break;
+    }
+    case MsgType::RESTART_CMD: {
+      auto cmd = decode_restart_cmd(msg);
+      if (cmd) restart_begin(conn, std::move(cmd).value());
+      break;
+    }
+    case MsgType::STREAM_OPEN: {
+      auto m = decode_stream_open(msg);
+      if (m) streams_[m.value().tag] = Stream{};
+      break;
+    }
+    case MsgType::STREAM_CHUNK: {
+      auto m = decode_stream_chunk(msg);
+      if (m) append_bytes(streams_[m.value().tag].data, m.value().data);
+      break;
+    }
+    case MsgType::STREAM_CLOSE: {
+      auto m = decode_stream_close(msg);
+      if (!m) break;
+      const std::string& tag = m.value().tag;
+      streams_[tag].complete = true;
+      trace("stream " + tag + " complete (" +
+            std::to_string(streams_[tag].data.size()) + " bytes)");
+      auto wit = waiting_restarts_.find(tag);
+      if (wit != waiting_restarts_.end()) {
+        auto op = wit->second;
+        waiting_restarts_.erase(wit);
+        restart_with_image(op, streams_[tag].data);
+      }
+      break;
+    }
+    case MsgType::REDIRECT_DATA: {
+      auto m = decode_redirect_data(msg);
+      if (m) redirects_.push_back(std::move(m).value());
+      break;
+    }
+    case MsgType::ABORT: {
+      if (conn->ckpt && !conn->ckpt->finished) {
+        ckpt_abort(conn->ckpt, "manager abort");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Agent::on_closed(Conn* conn) {
+  // Paper §4: "an Agent failure will be readily detected by the Manager
+  // ... Similarly a failure of the Manager itself will be noted by the
+  // Agents.  In both cases, the operation will be gracefully aborted, and
+  // the application will resume its execution."
+  if (conn->ckpt && !conn->ckpt->finished) {
+    ckpt_abort(conn->ckpt, "manager connection lost");
+  }
+  conn->dead = true;
+  after(0, [this] { reap_conns(); });
+}
+
+void Agent::reap_conns() {
+  conns_.remove_if([](const Conn& c) { return c.dead; });
+}
+
+// ---- Checkpoint (Figure 1) ----------------------------------------------------------
+
+void Agent::ckpt_begin(Conn* conn, CheckpointCmd cmd) {
+  auto op = std::make_shared<CkptOp>();
+  op->cmd = std::move(cmd);
+  op->mgr = conn->ch.get();
+  op->t_start = node_.now();
+  conn->ckpt = op;
+
+  pod::Pod* pod = find_pod(op->cmd.pod_name);
+  if (pod == nullptr) {
+    CkptDone done;
+    done.pod_name = op->cmd.pod_name;
+    done.ok = false;
+    done.error = "no such pod";
+    op->finished = true;
+    (void)op->mgr->send(encode_ckpt_done(done));
+    return;
+  }
+
+  // Step 1: suspend the pod and block its network.
+  trace("1: suspend pod " + op->cmd.pod_name + ", block network");
+  pod->suspend();
+  pod->filter().block_addr(pod->vip());
+  if (ordering_ == CkptOrdering::NETWORK_FIRST) {
+    after(costs_.suspend_cost(pod->process_count()),
+          [this, op] { ckpt_network(op); });
+  } else {
+    after(costs_.suspend_cost(pod->process_count()),
+          [this, op] { ckpt_standalone_pre(op); });
+  }
+}
+
+// ---- NETWORK_LAST ablation path ------------------------------------------------
+
+void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
+  if (op->aborted) return;
+  pod::Pod* pod = find_pod(op->cmd.pod_name);
+  if (pod == nullptr) return ckpt_abort(op, "pod vanished");
+
+  op->image.header = ckpt::Standalone::save_header(*pod);
+  op->image.processes = ckpt::Standalone::save_processes(*pod);
+  u64 bytes = 0;
+  for (const auto& p : op->image.processes) {
+    for (const auto& [name, r] : p.regions) bytes += r.size();
+  }
+  sim::Time cost =
+      costs_.standalone_ckpt_cost(bytes, op->image.processes.size());
+  after(cost, [this, op] {
+    if (op->aborted) return;
+    trace("3(early): standalone checkpoint done for " + op->cmd.pod_name);
+    ckpt_network_post(op);
+  });
+}
+
+void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
+  if (op->aborted) return;
+  pod::Pod* pod = find_pod(op->cmd.pod_name);
+  if (pod == nullptr) return ckpt_abort(op, "pod vanished");
+
+  Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets);
+  if (!st) return ckpt_abort(op, st.to_string());
+  if (gm::GmDevice* dev = pod->gm_device_if_present()) {
+    op->image.has_gm_device = true;
+    op->image.gm_state = dev->extract_state();
+    op->queued_bytes += op->image.gm_state.size();
+  }
+  for (const auto& s : op->image.sockets) {
+    op->queued_bytes += s.byte_size();
+  }
+  sim::Time cost =
+      costs_.net_ckpt_cost(op->image.sockets.size(), op->queued_bytes);
+  after(cost, [this, op, cost] {
+    if (op->aborted) return;
+    trace("2(late): network checkpoint done for " + op->cmd.pod_name);
+    MetaReport report;
+    report.pod_name = op->cmd.pod_name;
+    report.meta = op->image.meta;
+    report.net_ckpt_us = cost;
+    (void)op->mgr->send(encode_meta_report(report));
+    op->encoded_image = ckpt::encode_image(op->image);
+    ckpt_standalone_done(op);
+  });
+}
+
+void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
+  if (op->aborted) return;
+  pod::Pod* pod = find_pod(op->cmd.pod_name);
+  if (pod == nullptr) return ckpt_abort(op, "pod vanished");
+
+  // Step 2: network-state checkpoint (sockets + kernel-bypass device).
+  Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets);
+  if (!st) return ckpt_abort(op, st.to_string());
+  if (gm::GmDevice* dev = pod->gm_device_if_present()) {
+    op->image.has_gm_device = true;
+    op->image.gm_state = dev->extract_state();
+    op->queued_bytes += op->image.gm_state.size();
+  }
+  for (const auto& s : op->image.sockets) {
+    op->queued_bytes += s.byte_size();
+  }
+  sim::Time cost =
+      costs_.net_ckpt_cost(op->image.sockets.size(), op->queued_bytes);
+  after(cost, [this, op, cost] {
+    if (op->aborted) return;
+    // Step 2a: report meta-data to the Manager, then immediately proceed
+    // with the standalone checkpoint (the barrier overlaps it).
+    trace("2: network checkpoint done for " + op->cmd.pod_name + " (" +
+          std::to_string(cost) + "us)");
+    MetaReport report;
+    report.pod_name = op->cmd.pod_name;
+    report.meta = op->image.meta;
+    report.net_ckpt_us = cost;
+    (void)op->mgr->send(encode_meta_report(report));
+    trace("2a: meta-data reported for " + op->cmd.pod_name);
+    ckpt_standalone(op);
+  });
+}
+
+void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
+  if (op->aborted) return;
+  pod::Pod* pod = find_pod(op->cmd.pod_name);
+  if (pod == nullptr) return ckpt_abort(op, "pod vanished");
+
+  // Step 3: standalone pod checkpoint (Zap substrate).
+  op->image.header = ckpt::Standalone::save_header(*pod);
+  op->image.processes = ckpt::Standalone::save_processes(*pod);
+
+  // Migration redirect optimization (paper §5): ship each send queue
+  // directly to the agent receiving the peer's stream instead of
+  // embedding it in our image.
+  if (op->cmd.redirect_send_queues && op->cmd.mode == CkptMode::MIGRATE) {
+    // A (possibly empty) record is shipped for EVERY connected socket
+    // whose peer's destination agent is known, so the restoring side can
+    // deterministically wait for it.  If the peer's destination is not in
+    // the command's map, the send queue stays in the image and restores
+    // through the normal resend path.
+    for (auto& s : op->image.sockets) {
+      if (s.proto != net::Proto::TCP || !s.connected) {
+        continue;
+      }
+      bool peer_known = false;
+      for (const auto& [vip, a] : op->cmd.peer_agents) {
+        if (vip == s.remote.ip) peer_known = true;
+      }
+      if (!peer_known) continue;
+      RedirectData rd;
+      rd.dst_pod_vip = s.remote.ip;
+      rd.dst_local = s.remote;
+      rd.dst_remote = s.local;
+      rd.sender_acked = s.pcb_acked;
+      rd.data = std::move(s.send_queue);
+      s.send_queue.clear();
+      s.send_queue_redirected = true;
+      op->redirects.push_back(std::move(rd));
+    }
+  }
+
+  Bytes encoded = ckpt::encode_image(op->image);
+  u64 image_bytes = encoded.size();
+  sim::Time cost = costs_.standalone_ckpt_cost(image_bytes,
+                                               op->image.processes.size());
+  after(cost, [this, op, encoded = std::move(encoded)]() mutable {
+    if (op->aborted) return;
+    trace("3: standalone checkpoint done for " + op->cmd.pod_name + " (" +
+          std::to_string(encoded.size()) + " bytes)");
+    op->encoded_image = std::move(encoded);
+    ckpt_standalone_done(op);
+  });
+}
+
+void Agent::ckpt_standalone_done(const std::shared_ptr<CkptOp>& op) {
+  op->standalone_done = true;
+  deliver_image(op);
+  ckpt_maybe_finish(op);
+}
+
+void Agent::deliver_image(const std::shared_ptr<CkptOp>& op) {
+  auto uri = parse_uri(op->cmd.dest_uri);
+  if (!uri) return ckpt_abort(op, uri.status().to_string());
+
+  if (uri.value().scheme == "san") {
+    node_.san().write(uri.value().path, op->encoded_image);
+    return;
+  }
+  if (uri.value().scheme == "agent") {
+    // Direct streaming to the destination agent — "enabling direct
+    // migration of a distributed application to a new set of nodes
+    // without saving and restoring state from secondary storage" (§1).
+    auto ch = connect_channel(node_.host_stack(), uri.value().endpoint);
+    if (ch == nullptr) return ckpt_abort(op, "cannot reach stream target");
+    MsgChannel* raw = ch.get();
+    out_channels_.push_back(std::move(ch));
+    (void)raw->send(encode_stream_open(StreamOpen{uri.value().path}));
+    const Bytes& img = op->encoded_image;
+    for (std::size_t off = 0; off < img.size(); off += kStreamChunk) {
+      std::size_t n = std::min(kStreamChunk, img.size() - off);
+      StreamChunk chunk;
+      chunk.tag = uri.value().path;
+      chunk.data.assign(img.begin() + static_cast<long>(off),
+                        img.begin() + static_cast<long>(off + n));
+      (void)raw->send(encode_stream_chunk(chunk));
+    }
+    (void)raw->send(encode_stream_close(StreamClose{uri.value().path}));
+
+    // Redirected send queues go to the agents receiving the peers'
+    // streams.
+    for (auto& rd : op->redirects) {
+      net::SockAddr peer_agent{};
+      for (const auto& [vip, a] : op->cmd.peer_agents) {
+        if (vip == rd.dst_pod_vip) peer_agent = a;
+      }
+      if (peer_agent.port == 0) continue;  // peer not migrating
+      MsgChannel* target = raw;
+      if (peer_agent != uri.value().endpoint) {
+        auto ch2 = connect_channel(node_.host_stack(), peer_agent);
+        if (ch2 == nullptr) continue;
+        target = ch2.get();
+        out_channels_.push_back(std::move(ch2));
+      }
+      (void)target->send(encode_redirect_data(rd));
+    }
+    return;
+  }
+  ckpt_abort(op, "unsupported checkpoint destination " + op->cmd.dest_uri);
+}
+
+void Agent::ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op) {
+  if (op->finished || op->aborted) return;
+  // Steps 3a/4a: finish only after the standalone checkpoint completed
+  // AND the Manager's continue arrived (the single synchronization).
+  if (!op->standalone_done || !op->continue_received) return;
+  op->finished = true;
+
+  pod::Pod* pod = find_pod(op->cmd.pod_name);
+  if (pod != nullptr) {
+    if (op->cmd.fs_snapshot) {
+      // "A file-system snapshot (if desired) may be taken immediately
+      // prior to reactivating the pod."
+      node_.san().snapshot("pods/" + op->cmd.pod_name + "/",
+                           "snapshots/" + op->cmd.pod_name + "/");
+    }
+    if (op->cmd.mode == CkptMode::SNAPSHOT) {
+      pod->filter().unblock_addr(pod->vip());
+      pod->resume();
+      trace("4: pod " + op->cmd.pod_name + " resumed");
+    } else {
+      (void)destroy_pod(op->cmd.pod_name);
+      trace("4: pod " + op->cmd.pod_name + " destroyed (migration)");
+    }
+  }
+
+  CkptDone done;
+  done.pod_name = op->cmd.pod_name;
+  done.ok = true;
+  done.image_bytes = op->encoded_image.size();
+  done.network_bytes = op->image.network_bytes();
+  done.total_us = node_.now() - op->t_start;
+  (void)op->mgr->send(encode_ckpt_done(done));
+}
+
+void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
+                       const std::string& why) {
+  if (op->finished || op->aborted) return;
+  op->aborted = true;
+  op->finished = true;
+  ZLOG_WARN("agent@" << node_.name() << ": checkpoint of "
+                     << op->cmd.pod_name << " aborted: " << why);
+  trace("abort: " + why);
+  // Gracefully resume the application (paper §4).
+  pod::Pod* pod = find_pod(op->cmd.pod_name);
+  if (pod != nullptr) {
+    pod->filter().unblock_addr(pod->vip());
+    if (pod->suspended()) pod->resume();
+  }
+  if (op->mgr != nullptr) {
+    CkptDone done;
+    done.pod_name = op->cmd.pod_name;
+    done.ok = false;
+    done.error = why;
+    (void)op->mgr->send(encode_ckpt_done(done));
+  }
+}
+
+// ---- Restart (Figure 3) ---------------------------------------------------------------
+
+void Agent::restart_begin(Conn* conn, RestartCmd cmd) {
+  auto op = std::make_shared<RestartOp>();
+  op->cmd = std::move(cmd);
+  op->mgr = conn->ch.get();
+  op->t_start = node_.now();
+  conn->restart = op;
+
+  // Apply the virtual→real location updates ("substituting the
+  // destination network addresses in place of the original addresses").
+  for (const auto& [vip, real] : op->cmd.locations) {
+    node_.locations().set(vip, real);
+  }
+
+  auto uri = parse_uri(op->cmd.source_uri);
+  if (!uri) return restart_finish(op, uri.status());
+
+  if (uri.value().scheme == "san") {
+    auto data = node_.san().read(uri.value().path);
+    if (!data) return restart_finish(op, data.status());
+    restart_with_image(op, std::move(data).value());
+    return;
+  }
+  if (uri.value().scheme == "stream") {
+    auto it = streams_.find(uri.value().path);
+    if (it != streams_.end() && it->second.complete) {
+      restart_with_image(op, it->second.data);
+    } else {
+      // The checkpoint stream is still arriving; resume when complete.
+      waiting_restarts_[uri.value().path] = op;
+    }
+    return;
+  }
+  restart_finish(op, Status(Err::INVALID, "unsupported restart source"));
+}
+
+void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
+                               Bytes image_bytes) {
+  auto image = ckpt::decode_image(image_bytes);
+  if (!image) return restart_finish(op, image.status());
+  op->image = std::move(image).value();
+
+  if (node_.find_domain(op->image.header.vip) != nullptr) {
+    return restart_finish(
+        op, Status(Err::EXISTS, "vip already hosted on this node"));
+  }
+
+  // Step 1: create a new pod.
+  op->pod = &create_pod(op->image.header.vip, op->cmd.pod_name);
+  ckpt::Standalone::restore_header(*op->pod, op->image.header);
+  trace("1: pod " + op->cmd.pod_name + " created for restart");
+
+  // Step 2: recover network connectivity.
+  std::set<net::SockId> referenced;
+  for (const auto& p : op->image.processes) {
+    for (const auto& [fd, sid] : p.fds) referenced.insert(sid);
+  }
+  std::set<net::SockId> unreferenced;
+  for (const auto& s : op->image.sockets) {
+    if (referenced.count(s.old_id) == 0) unreferenced.insert(s.old_id);
+  }
+
+  op->connectivity = std::make_unique<ConnectivityRestore>(
+      *op->pod, op->cmd.meta, op->image.sockets, std::move(unreferenced),
+      30 * sim::kSecond,
+      [this, op](Status st, ckpt::SockMap map) {
+        restart_connectivity_done(op, std::move(st), std::move(map));
+      });
+  op->connectivity->start();
+}
+
+void Agent::restart_connectivity_done(const std::shared_ptr<RestartOp>& op,
+                                      Status st, ckpt::SockMap map) {
+  if (!st) return restart_finish(op, st);
+  op->socks = std::move(map);
+  op->t_conn_done = node_.now();
+  trace("2: connectivity recovered for " + op->cmd.pod_name);
+  restart_wait_redirects(op, /*waited=*/0);
+}
+
+void Agent::restart_wait_redirects(const std::shared_ptr<RestartOp>& op,
+                                   sim::Time waited) {
+  // Migration redirect: every connection tagged redirect_expected must
+  // have its (possibly empty) peer send-queue record before the socket
+  // state is restored, or restored data would be misordered.
+  bool all_here = true;
+  for (const auto& e : op->cmd.meta.entries) {
+    if (!e.redirect_expected) continue;
+    const ckpt::SocketImage* img = nullptr;
+    for (const auto& s : op->image.sockets) {
+      if (s.old_id == e.sock) img = &s;
+    }
+    if (img == nullptr) continue;
+    bool found = false;
+    for (const auto& rd : redirects_) {
+      if (rd.dst_pod_vip == op->pod->vip() && rd.dst_local == img->local &&
+          rd.dst_remote == img->remote) {
+        found = true;
+      }
+    }
+    if (!found) all_here = false;
+  }
+  if (all_here) {
+    restart_net_state(op);
+    return;
+  }
+  if (waited > 30 * sim::kSecond) {
+    return restart_finish(
+        op, Status(Err::TIMED_OUT, "redirected send-queue data missing"));
+  }
+  after(sim::kMillisecond, [this, op, waited] {
+    restart_wait_redirects(op, waited + sim::kMillisecond);
+  });
+}
+
+void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
+  // Step 3: restore the network state of every socket (and the
+  // kernel-bypass device, if the pod had one).
+  if (op->image.has_gm_device) {
+    Status st = op->pod->gm_device().reinstate(op->image.gm_state);
+    if (!st) return restart_finish(op, st);
+  }
+  u64 restored_bytes = 0;
+  for (const auto& img : op->image.sockets) {
+    auto mit = op->socks.find(img.old_id);
+    if (mit == op->socks.end()) {
+      return restart_finish(
+          op, Status(Err::NO_ENT, "socket " + std::to_string(img.old_id) +
+                                      " not re-created"));
+    }
+    u32 discard = 0;
+    for (const auto& e : op->cmd.meta.entries) {
+      if (e.sock == img.old_id) discard = e.discard_send;
+    }
+    // Redirected send-queue data destined for this socket (already sent
+    // by the peer's agent); trim the overlap against our recv.
+    Bytes extra;
+    for (auto it = redirects_.begin(); it != redirects_.end();) {
+      if (it->dst_pod_vip == op->pod->vip() && it->dst_local == img.local &&
+          it->dst_remote == img.remote) {
+        u32 skip = img.pcb_recv - it->sender_acked;
+        if (skip & 0x80000000u) skip = 0;
+        std::size_t s = std::min<std::size_t>(skip, it->data.size());
+        extra.insert(extra.end(), it->data.begin() + static_cast<long>(s),
+                     it->data.end());
+        it = redirects_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    restored_bytes += img.byte_size() + extra.size();
+    Status st = NetCheckpoint::restore_socket(*op->pod, mit->second, img,
+                                              discard, extra);
+    if (!st) return restart_finish(op, st);
+  }
+
+  sim::Time cost =
+      costs_.net_restore_cost(op->image.sockets.size(), restored_bytes);
+  after(cost, [this, op] {
+    op->t_net_done = node_.now();
+    trace("3: network state restored for " + op->cmd.pod_name);
+    restart_standalone(op);
+  });
+}
+
+void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
+  // Step 4: standalone restart.
+  Status st = ckpt::Standalone::restore_processes(*op->pod,
+                                                  op->image.processes,
+                                                  op->socks);
+  if (!st) return restart_finish(op, st);
+
+  u64 image_bytes = 0;
+  for (const auto& p : op->image.processes) {
+    for (const auto& [name, r] : p.regions) image_bytes += r.size();
+  }
+  sim::Time cost = costs_.standalone_restart_cost(
+      image_bytes, op->image.processes.size());
+  after(cost, [this, op] {
+    trace("4: standalone restart done for " + op->cmd.pod_name);
+    op->pod->resume();
+    restart_finish(op, Status::ok());
+  });
+}
+
+void Agent::restart_finish(const std::shared_ptr<RestartOp>& op, Status st) {
+  if (op->finished) return;
+  op->finished = true;
+  if (!st && op->pod != nullptr) {
+    (void)destroy_pod(op->cmd.pod_name);  // clean up the partial pod
+  }
+  RestartDone done;
+  done.pod_name = op->cmd.pod_name;
+  done.ok = st.is_ok();
+  done.error = st.message();
+  done.total_us = node_.now() - op->t_start;
+  done.connectivity_us =
+      op->t_conn_done > op->t_start ? op->t_conn_done - op->t_start : 0;
+  done.net_restore_us =
+      op->t_net_done > op->t_conn_done ? op->t_net_done - op->t_conn_done : 0;
+  trace("5: restart of " + op->cmd.pod_name +
+        (st.is_ok() ? " done" : " FAILED: " + st.to_string()));
+  if (op->mgr != nullptr) (void)op->mgr->send(encode_restart_done(done));
+}
+
+}  // namespace zapc::core

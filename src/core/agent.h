@@ -1,0 +1,162 @@
+// Agent: the per-node ZapC service (paper §4).
+//
+// "The Agents receive these commands and carry them out on their local
+// nodes."  An Agent hosts pods, executes the local checkpoint procedure
+// (suspend → block network → network-state checkpoint → report meta-data
+// → standalone checkpoint → barrier → resume/destroy) and the local
+// restart procedure (create pod → recover connectivity → restore network
+// state → standalone restart → resume), receives directly streamed
+// checkpoint images from peer agents, and collects redirected send-queue
+// data for the migration optimization.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "ckpt/image.h"
+#include "ckpt/standalone.h"
+#include "core/channel.h"
+#include "core/connectivity.h"
+#include "core/cost_model.h"
+#include "core/protocol.h"
+#include "core/trace.h"
+#include "os/node.h"
+#include "pod/pod.h"
+
+namespace zapc::core {
+
+/// Order of the two checkpoint phases.  The paper argues for
+/// NETWORK_FIRST: reporting meta-data early lets the standalone
+/// checkpoint overlap the Manager barrier (Figure 2).  NETWORK_LAST
+/// exists for the ablation benchmark.
+enum class CkptOrdering : u8 { NETWORK_FIRST, NETWORK_LAST };
+
+class Agent {
+ public:
+  static constexpr u16 kDefaultPort = 7077;
+
+  explicit Agent(os::Node& node, u16 port = kDefaultPort,
+                 CostModel costs = {}, Trace* trace = nullptr);
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Control endpoint of this agent (real node address + port).
+  net::SockAddr addr() const;
+  os::Node& node() { return node_; }
+
+  // ---- Pod hosting ---------------------------------------------------------
+  pod::Pod& create_pod(net::IpAddr vip, const std::string& name);
+  pod::Pod* find_pod(const std::string& name);
+  Status destroy_pod(const std::string& name);
+  std::size_t pod_count() const { return pods_.size(); }
+
+  /// Whether any checkpoint/restart operation is currently in flight.
+  bool busy() const;
+
+  /// Checkpoint phase ordering (ablation hook; default NETWORK_FIRST).
+  void set_ordering(CkptOrdering o) { ordering_ = o; }
+  CkptOrdering ordering() const { return ordering_; }
+
+ private:
+  struct CkptOp {
+    CheckpointCmd cmd;
+    MsgChannel* mgr = nullptr;
+    sim::Time t_start = 0;
+    ckpt::PodImage image;
+    Bytes encoded_image;
+    std::vector<RedirectData> redirects;  // to ship to peer agents
+    u64 queued_bytes = 0;
+    bool continue_received = false;
+    bool standalone_done = false;
+    bool finished = false;
+    bool aborted = false;
+  };
+
+  struct RestartOp {
+    RestartCmd cmd;
+    MsgChannel* mgr = nullptr;
+    sim::Time t_start = 0;
+    sim::Time t_conn_done = 0;
+    sim::Time t_net_done = 0;
+    ckpt::PodImage image;
+    pod::Pod* pod = nullptr;
+    std::unique_ptr<ConnectivityRestore> connectivity;
+    ckpt::SockMap socks;
+    bool finished = false;
+  };
+
+  struct Conn {
+    std::unique_ptr<MsgChannel> ch;
+    std::shared_ptr<CkptOp> ckpt;
+    std::shared_ptr<RestartOp> restart;
+    bool dead = false;
+  };
+
+  void on_accept(std::unique_ptr<MsgChannel> ch);
+  void on_msg(Conn* conn, Bytes msg);
+  void on_closed(Conn* conn);
+  void reap_conns();
+
+  // Checkpoint phases (Figure 1, agent side).
+  void ckpt_begin(Conn* conn, CheckpointCmd cmd);
+  void ckpt_network(const std::shared_ptr<CkptOp>& op);
+  void ckpt_standalone(const std::shared_ptr<CkptOp>& op);
+  // NETWORK_LAST ablation path: standalone state first, network last.
+  void ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op);
+  void ckpt_network_post(const std::shared_ptr<CkptOp>& op);
+  void ckpt_standalone_done(const std::shared_ptr<CkptOp>& op);
+  void ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op);
+  void ckpt_abort(const std::shared_ptr<CkptOp>& op,
+                  const std::string& why);
+  void deliver_image(const std::shared_ptr<CkptOp>& op);
+
+  // Restart phases (Figure 3, agent side).
+  void restart_begin(Conn* conn, RestartCmd cmd);
+  void restart_with_image(const std::shared_ptr<RestartOp>& op,
+                          Bytes image_bytes);
+  void restart_connectivity_done(const std::shared_ptr<RestartOp>& op,
+                                 Status st, ckpt::SockMap map);
+  void restart_wait_redirects(const std::shared_ptr<RestartOp>& op,
+                              sim::Time waited);
+  void restart_net_state(const std::shared_ptr<RestartOp>& op);
+  void restart_standalone(const std::shared_ptr<RestartOp>& op);
+  void restart_finish(const std::shared_ptr<RestartOp>& op, Status st);
+
+  void trace(const std::string& what);
+  template <typename Fn>
+  void after(sim::Time delay, Fn&& fn);
+
+  os::Node& node_;
+  u16 port_;
+  CostModel costs_;
+  Trace* trace_;
+  CkptOrdering ordering_ = CkptOrdering::NETWORK_FIRST;
+  std::unique_ptr<MsgServer> server_;
+  std::list<Conn> conns_;
+
+  std::map<std::string, std::unique_ptr<pod::Pod>> pods_;
+
+  // Streamed checkpoint images (direct migration) by tag.
+  struct Stream {
+    Bytes data;
+    bool complete = false;
+  };
+  std::map<std::string, Stream> streams_;
+  // Restarts waiting for a stream to finish arriving.
+  std::map<std::string, std::shared_ptr<RestartOp>> waiting_restarts_;
+
+  // Redirected send-queue data awaiting restore.
+  std::vector<RedirectData> redirects_;
+
+  // Outbound agent→agent channels (streaming / redirect).
+  std::list<std::unique_ptr<MsgChannel>> out_channels_;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace zapc::core

@@ -1,0 +1,171 @@
+#include "core/channel.h"
+
+#include "net/tcp.h"
+#include "util/log.h"
+#include "util/serialize.h"
+
+namespace zapc::core {
+
+MsgChannel::MsgChannel(net::Stack& stack, net::SockId sock)
+    : stack_(stack), sock_(sock) {
+  net::Socket* s = stack_.find(sock_);
+  if (s == nullptr) {
+    closed_ = true;
+    return;
+  }
+  s->set_event_hook([this] { on_event(); });
+  arm();  // drain anything already queued
+}
+
+MsgChannel::~MsgChannel() {
+  *alive_ = false;
+  close();
+}
+
+void MsgChannel::close() {
+  if (closed_) return;
+  flush();  // push any queued messages into the socket before the FIN
+  closed_ = true;
+  net::Socket* s = stack_.find(sock_);
+  if (s != nullptr) {
+    s->set_event_hook(nullptr);
+    (void)stack_.sys_close(sock_);
+  }
+}
+
+void MsgChannel::arm() {
+  if (event_scheduled_ || closed_) return;
+  event_scheduled_ = true;
+  stack_.engine().schedule(0, [alive = std::weak_ptr<bool>(alive_), this] {
+    if (auto a = alive.lock(); !a || !*a) return;
+    event_scheduled_ = false;
+    flush();
+    pump();
+  });
+}
+
+void MsgChannel::on_event() { arm(); }
+
+Status MsgChannel::send(const Bytes& payload) {
+  if (closed_) return Status(Err::PIPE, "channel closed");
+  Encoder e;
+  e.put_u32(static_cast<u32>(payload.size()));
+  tx_.insert(tx_.end(), e.bytes().begin(), e.bytes().end());
+  tx_.insert(tx_.end(), payload.begin(), payload.end());
+  bytes_sent_ += payload.size();
+  arm();
+  return Status::ok();
+}
+
+void MsgChannel::flush() {
+  if (closed_) return;
+  while (!tx_.empty()) {
+    // Move a bounded chunk into a contiguous buffer for the send call.
+    std::size_t n = std::min<std::size_t>(tx_.size(), 64 * 1024);
+    Bytes chunk(tx_.begin(), tx_.begin() + static_cast<long>(n));
+    auto w = stack_.sys_send(sock_, chunk, 0);
+    if (!w.is_ok()) {
+      if (w.err() == Err::WOULD_BLOCK) return;  // retry on next event
+      mark_closed();
+      return;
+    }
+    tx_.erase(tx_.begin(), tx_.begin() + static_cast<long>(w.value()));
+    if (w.value() < n) return;  // buffer full
+  }
+}
+
+void MsgChannel::pump() {
+  if (closed_) return;
+  while (true) {
+    auto r = stack_.sys_recv(sock_, 64 * 1024, 0);
+    if (!r.is_ok()) {
+      if (r.err() == Err::WOULD_BLOCK) break;
+      mark_closed();
+      return;
+    }
+    if (r.value().eof) {
+      mark_closed();
+      return;
+    }
+    append_bytes(rx_, r.value().data);
+  }
+
+  // Deliver complete frames.  A handler may close — or even destroy —
+  // this channel; the liveness token detects that.
+  std::weak_ptr<bool> alive(alive_);
+  std::size_t off = 0;
+  while (rx_.size() - off >= 4) {
+    Decoder d(rx_.data() + off, rx_.size() - off);
+    u32 len = d.u32_().value_or(0);
+    if (rx_.size() - off - 4 < len) break;
+    Bytes payload(rx_.begin() + static_cast<long>(off + 4),
+                  rx_.begin() + static_cast<long>(off + 4 + len));
+    off += 4 + len;
+    if (on_msg_) on_msg_(std::move(payload));
+    if (auto a = alive.lock(); !a || !*a) return;  // destroyed by handler
+    if (closed_) return;
+  }
+  if (off > 0) rx_.erase(rx_.begin(), rx_.begin() + static_cast<long>(off));
+}
+
+void MsgChannel::mark_closed() {
+  if (closed_) return;
+  closed_ = true;
+  net::Socket* s = stack_.find(sock_);
+  if (s != nullptr) {
+    s->set_event_hook(nullptr);
+    (void)stack_.sys_close(sock_);
+  }
+  if (on_closed_) on_closed_();
+}
+
+MsgServer::MsgServer(net::Stack& stack, u16 port, AcceptFn on_accept)
+    : stack_(stack), port_(port), on_accept_(std::move(on_accept)) {
+  auto sid = stack_.sys_socket(net::Proto::TCP);
+  if (!sid) {
+    status_ = sid.status();
+    return;
+  }
+  listener_ = sid.value();
+  (void)stack_.sys_setsockopt(listener_, net::SockOpt::SO_REUSEADDR, 1);
+  status_ = stack_.sys_bind(listener_, net::SockAddr{net::kAnyAddr, port});
+  if (!status_) return;
+  status_ = stack_.sys_listen(listener_, 64);
+  if (!status_) return;
+  net::Socket* s = stack_.find(listener_);
+  s->set_event_hook([this] {
+    stack_.engine().schedule(0, [alive = std::weak_ptr<bool>(alive_), this] {
+      if (auto a = alive.lock(); a && *a) on_event();
+    });
+  });
+}
+
+MsgServer::~MsgServer() {
+  *alive_ = false;
+  if (listener_ != net::kInvalidSock && stack_.find(listener_) != nullptr) {
+    stack_.find(listener_)->set_event_hook(nullptr);
+    (void)stack_.sys_close(listener_);
+  }
+}
+
+void MsgServer::on_event() {
+  while (true) {
+    auto child = stack_.sys_accept(listener_, nullptr);
+    if (!child.is_ok()) return;
+    on_accept_(std::make_unique<MsgChannel>(stack_, child.value()));
+  }
+}
+
+std::unique_ptr<MsgChannel> connect_channel(net::Stack& stack,
+                                            net::SockAddr peer) {
+  auto sid = stack.sys_socket(net::Proto::TCP);
+  if (!sid) return nullptr;
+  Status st = stack.sys_connect(sid.value(), peer);
+  if (!st.is_ok() && st.err() != Err::IN_PROGRESS) {
+    (void)stack.sys_close(sid.value());
+    return nullptr;
+  }
+  return std::make_unique<MsgChannel>(stack, sid.value());
+}
+
+}  // namespace zapc::core

@@ -1,0 +1,398 @@
+#include "core/manager.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace zapc::core {
+
+Manager::Manager(os::Node& node, Trace* trace)
+    : node_(node), trace_(trace) {}
+
+Manager::~Manager() { *alive_ = false; }
+
+void Manager::trace(const std::string& what) {
+  if (trace_ != nullptr) trace_->add(node_.now(), "manager", what);
+}
+
+// ---- Checkpoint -----------------------------------------------------------------
+
+void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
+                         CheckpointDoneFn done, bool redirect_send_queues,
+                         bool fs_snapshot) {
+  if (op_ != nullptr) {
+    CheckpointReport r;
+    r.error = "manager busy";
+    done(std::move(r));
+    return;
+  }
+  op_ = std::make_unique<CkptState>();
+  op_->mode = mode;
+  op_->redirect = redirect_send_queues && mode == CkptMode::MIGRATE;
+  op_->t_start = node_.now();
+  op_->done_fn = std::move(done);
+
+  // For the redirect optimization, every agent needs to know which agent
+  // receives each peer pod's checkpoint stream: (vip -> endpoint) pairs
+  // derived from targets with agent:// URIs.  The vip comes from the
+  // target itself when supplied, otherwise from the previous checkpoint's
+  // meta-data.  Pods whose vip cannot be determined are simply not
+  // covered — their connections fall back to the normal send-queue
+  // resend.
+  std::vector<std::pair<net::IpAddr, net::SockAddr>> peer_agents;
+  last_redirect_covered_.clear();
+  if (op_->redirect) {
+    for (const Target& t : targets) {
+      net::IpAddr vip = t.vip;
+      if (vip.is_any()) {
+        auto it = last_metas_.find(t.pod_name);
+        if (it != last_metas_.end()) vip = it->second.pod_vip;
+      }
+      if (vip.is_any()) continue;
+      if (t.uri.rfind("agent://", 0) != 0) continue;
+      std::string rest = t.uri.substr(8);
+      auto slash = rest.find('/');
+      auto colon = rest.find(':');
+      if (slash == std::string::npos || colon == std::string::npos ||
+          colon > slash) {
+        continue;
+      }
+      auto ip = net::IpAddr::parse(rest.substr(0, colon));
+      if (!ip) continue;
+      net::SockAddr ep{ip.value(),
+                       static_cast<u16>(std::stoul(
+                           rest.substr(colon + 1, slash - colon - 1)))};
+      peer_agents.emplace_back(vip, ep);
+      last_redirect_covered_.insert(vip);
+    }
+  }
+
+  trace("1: send 'checkpoint' to " + std::to_string(targets.size()) +
+        " agents");
+  op_->peers.reserve(targets.size());
+  for (auto& t : targets) {
+    CkptPeer peer;
+    peer.target = t;
+    peer.ch = connect_channel(node_.host_stack(), t.agent);
+    op_->peers.push_back(std::move(peer));
+  }
+  for (std::size_t i = 0; i < op_->peers.size(); ++i) {
+    CkptPeer& peer = op_->peers[i];
+    if (peer.ch == nullptr) {
+      ckpt_fail("cannot connect to agent " + peer.target.agent.to_string());
+      return;
+    }
+    peer.ch->set_on_msg(
+        [this, i, alive = std::weak_ptr<bool>(alive_)](Bytes msg) {
+          if (auto a = alive.lock(); a && *a) ckpt_on_msg(i, std::move(msg));
+        });
+    peer.ch->set_on_closed([this, i, alive = std::weak_ptr<bool>(alive_)] {
+      if (auto a = alive.lock(); a && *a) ckpt_on_closed(i);
+    });
+
+    CheckpointCmd cmd;
+    cmd.pod_name = peer.target.pod_name;
+    cmd.dest_uri = peer.target.uri;
+    cmd.mode = mode;
+    cmd.redirect_send_queues = redirect_send_queues;
+    cmd.fs_snapshot = fs_snapshot;
+    cmd.peer_agents = peer_agents;
+    (void)peer.ch->send(encode_checkpoint_cmd(cmd));
+  }
+}
+
+void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
+  if (op_ == nullptr || op_->finished) return;
+  CkptPeer& peer = op_->peers[idx];
+  auto type = peek_type(msg);
+  if (!type) return;
+
+  switch (type.value()) {
+    case MsgType::META_REPORT: {
+      auto m = decode_meta_report(msg);
+      if (!m) return ckpt_fail("bad meta report");
+      peer.meta_received = true;
+      op_->report.metas[m.value().pod_name] = m.value().meta;
+      op_->report.max_net_ckpt_us =
+          std::max(op_->report.max_net_ckpt_us, m.value().net_ckpt_us);
+      trace("2: meta-data received from " + peer.target.pod_name);
+      ckpt_maybe_continue();
+      break;
+    }
+    case MsgType::CKPT_DONE: {
+      auto m = decode_ckpt_done(msg);
+      if (!m) return ckpt_fail("bad done report");
+      peer.done_received = true;
+      peer.done = m.value();
+      if (!m.value().ok) {
+        return ckpt_fail("agent reported failure for " +
+                         m.value().pod_name + ": " + m.value().error);
+      }
+      trace("4: 'done' received from " + peer.target.pod_name);
+      ckpt_maybe_finish();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Manager::ckpt_on_closed(std::size_t idx) {
+  if (op_ == nullptr || op_->finished) return;
+  ckpt_fail("lost connection to agent of pod " +
+            op_->peers[idx].target.pod_name);
+}
+
+void Manager::ckpt_maybe_continue() {
+  if (op_->continued) return;
+  for (const CkptPeer& p : op_->peers) {
+    if (!p.meta_received) return;
+  }
+  // The single synchronization point (paper §4, Figure 2 "sync").
+  op_->continued = true;
+  op_->t_sync = node_.now();
+  trace("3: all meta-data in; send 'continue' to agents (sync point)");
+  for (CkptPeer& p : op_->peers) {
+    (void)p.ch->send(encode_continue());
+  }
+}
+
+void Manager::ckpt_maybe_finish() {
+  for (const CkptPeer& p : op_->peers) {
+    if (!p.done_received) return;
+  }
+  op_->finished = true;
+  CheckpointReport report = std::move(op_->report);
+  report.ok = true;
+  report.total_us = node_.now() - op_->t_start;
+  report.sync_us = op_->t_sync - op_->t_start;
+  for (const CkptPeer& p : op_->peers) {
+    report.agents.push_back(p.done);
+    report.max_image_bytes =
+        std::max(report.max_image_bytes, p.done.image_bytes);
+    report.max_network_bytes =
+        std::max(report.max_network_bytes, p.done.network_bytes);
+  }
+  last_metas_ = report.metas;
+  last_redirect_ = op_->redirect;
+  trace("checkpoint complete in " + std::to_string(report.total_us) + "us");
+  CheckpointDoneFn fn = std::move(op_->done_fn);
+  op_.reset();
+  fn(std::move(report));
+}
+
+void Manager::ckpt_fail(const std::string& why) {
+  if (op_ == nullptr || op_->finished) return;
+  op_->finished = true;
+  ZLOG_WARN("manager: checkpoint failed: " << why);
+  trace("checkpoint ABORTED: " + why);
+  for (CkptPeer& p : op_->peers) {
+    if (p.ch != nullptr && p.ch->open()) {
+      (void)p.ch->send(encode_abort(why));
+    }
+  }
+  CheckpointReport report;
+  report.ok = false;
+  report.error = why;
+  CheckpointDoneFn fn = std::move(op_->done_fn);
+  op_.reset();
+  fn(std::move(report));
+}
+
+// ---- Migration -------------------------------------------------------------------
+
+void Manager::migrate(std::vector<MigrateTarget> targets,
+                      MigrateDoneFn done) {
+  std::vector<Target> ckpt_targets;
+  std::vector<Target> restart_targets;
+  for (const MigrateTarget& t : targets) {
+    std::string tag = t.pod_name + "-mig";
+    ckpt_targets.push_back(Target{
+        t.from_agent, t.pod_name,
+        "agent://" + t.to_agent.ip.to_string() + ":" +
+            std::to_string(t.to_agent.port) + "/" + tag,
+        t.vip});
+    restart_targets.push_back(
+        Target{t.to_agent, t.pod_name, "stream://" + tag});
+  }
+
+  sim::Time t0 = node_.now();
+  auto done_ptr = std::make_shared<MigrateDoneFn>(std::move(done));
+  checkpoint(
+      std::move(ckpt_targets), CkptMode::MIGRATE,
+      [this, restart_targets = std::move(restart_targets), done_ptr,
+       t0](CheckpointReport cr) {
+        if (!cr.ok) {
+          MigrateReport r;
+          r.error = "checkpoint: " + cr.error;
+          r.checkpoint = std::move(cr);
+          (*done_ptr)(std::move(r));
+          return;
+        }
+        restart(restart_targets, {},
+                [this, done_ptr, t0, cr = std::move(cr)](RestartReport rr) {
+                  MigrateReport r;
+                  r.ok = rr.ok;
+                  if (!rr.ok) r.error = "restart: " + rr.error;
+                  r.checkpoint = cr;
+                  r.restart = std::move(rr);
+                  r.total_us = node_.now() - t0;
+                  (*done_ptr)(std::move(r));
+                });
+      },
+      /*redirect_send_queues=*/true);
+}
+
+// ---- Restart ---------------------------------------------------------------------
+
+void Manager::restart(std::vector<Target> targets,
+                      std::map<std::string, ckpt::NetMeta> metas,
+                      RestartDoneFn done) {
+  if (rop_ != nullptr) {
+    RestartReport r;
+    r.error = "manager busy";
+    done(std::move(r));
+    return;
+  }
+  if (metas.empty()) metas = last_metas_;
+
+  // Derive the restart schedule from the meta-data tables.
+  std::vector<ckpt::NetMeta> meta_list;
+  for (auto& t : targets) {
+    auto it = metas.find(t.pod_name);
+    if (it == metas.end()) {
+      RestartReport r;
+      r.error = "no meta-data for pod " + t.pod_name;
+      done(std::move(r));
+      return;
+    }
+    meta_list.push_back(it->second);
+  }
+  auto plan = build_restart_plan(meta_list);
+  if (!plan) {
+    RestartReport r;
+    r.error = "schedule: " + plan.status().to_string();
+    done(std::move(r));
+    return;
+  }
+  if (last_redirect_) {
+    // The checkpoint shipped each covered connection's send queue to the
+    // agent receiving its peer's stream; mark those entries so the
+    // restore waits for the records.  A record for pod X's connection is
+    // produced only if the sender (the peer) knew X's destination agent,
+    // i.e. X's vip was in the advertised map.
+    for (auto& [vip, meta] : plan.value().pod_meta) {
+      if (last_redirect_covered_.count(vip) == 0) continue;
+      for (auto& e : meta.entries) {
+        if ((e.state == ckpt::ConnState::FULL_DUPLEX ||
+             e.state == ckpt::ConnState::HALF_DUPLEX) &&
+            last_redirect_covered_.count(e.target.ip) > 0) {
+          e.redirect_expected = true;
+        }
+      }
+    }
+  }
+
+  // New placement: each pod's virtual address now resolves to the real
+  // address of the agent restarting it.
+  std::vector<std::pair<net::IpAddr, net::IpAddr>> locations;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    locations.emplace_back(meta_list[i].pod_vip, targets[i].agent.ip);
+  }
+
+  rop_ = std::make_unique<RestartState>();
+  rop_->t_start = node_.now();
+  rop_->done_fn = std::move(done);
+
+  trace("1: send 'restart' + meta-data to " +
+        std::to_string(targets.size()) + " agents");
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    RestartPeer peer;
+    peer.target = targets[i];
+    peer.ch = connect_channel(node_.host_stack(), targets[i].agent);
+    rop_->peers.push_back(std::move(peer));
+  }
+  for (std::size_t i = 0; i < rop_->peers.size(); ++i) {
+    RestartPeer& peer = rop_->peers[i];
+    if (peer.ch == nullptr) {
+      restart_fail("cannot connect to agent " +
+                   peer.target.agent.to_string());
+      return;
+    }
+    peer.ch->set_on_msg(
+        [this, i, alive = std::weak_ptr<bool>(alive_)](Bytes msg) {
+          if (auto a = alive.lock(); a && *a) {
+            restart_on_msg(i, std::move(msg));
+          }
+        });
+    peer.ch->set_on_closed([this, i, alive = std::weak_ptr<bool>(alive_)] {
+      if (auto a = alive.lock(); a && *a) restart_on_closed(i);
+    });
+
+    RestartCmd cmd;
+    cmd.pod_name = peer.target.pod_name;
+    cmd.source_uri = peer.target.uri;
+    cmd.meta = plan.value().pod_meta[meta_list[i].pod_vip];
+    cmd.locations = locations;
+    (void)peer.ch->send(encode_restart_cmd(cmd));
+  }
+}
+
+void Manager::restart_on_msg(std::size_t idx, Bytes msg) {
+  if (rop_ == nullptr || rop_->finished) return;
+  auto type = peek_type(msg);
+  if (!type || type.value() != MsgType::RESTART_DONE) return;
+  auto m = decode_restart_done(msg);
+  if (!m) return restart_fail("bad restart report");
+  RestartPeer& peer = rop_->peers[idx];
+  peer.done_received = true;
+  peer.done = m.value();
+  if (!m.value().ok) {
+    return restart_fail("agent reported restart failure for " +
+                        m.value().pod_name + ": " + m.value().error);
+  }
+  trace("2: 'done' received from " + peer.target.pod_name);
+  restart_maybe_finish();
+}
+
+void Manager::restart_on_closed(std::size_t idx) {
+  if (rop_ == nullptr || rop_->finished) return;
+  restart_fail("lost connection to agent of pod " +
+               rop_->peers[idx].target.pod_name);
+}
+
+void Manager::restart_maybe_finish() {
+  for (const RestartPeer& p : rop_->peers) {
+    if (!p.done_received) return;
+  }
+  rop_->finished = true;
+  RestartReport report;
+  report.ok = true;
+  report.total_us = node_.now() - rop_->t_start;
+  for (const RestartPeer& p : rop_->peers) {
+    report.agents.push_back(p.done);
+    report.max_connectivity_us =
+        std::max(report.max_connectivity_us, p.done.connectivity_us);
+    report.max_net_restore_us =
+        std::max(report.max_net_restore_us, p.done.net_restore_us);
+  }
+  trace("restart complete in " + std::to_string(report.total_us) + "us");
+  RestartDoneFn fn = std::move(rop_->done_fn);
+  rop_.reset();
+  fn(std::move(report));
+}
+
+void Manager::restart_fail(const std::string& why) {
+  if (rop_ == nullptr || rop_->finished) return;
+  rop_->finished = true;
+  ZLOG_WARN("manager: restart failed: " << why);
+  trace("restart ABORTED: " + why);
+  RestartReport report;
+  report.ok = false;
+  report.error = why;
+  RestartDoneFn fn = std::move(rop_->done_fn);
+  rop_.reset();
+  fn(std::move(report));
+}
+
+}  // namespace zapc::core

@@ -1,0 +1,175 @@
+// Manager: the front-end client orchestrating coordinated checkpoint and
+// restart (paper §4).
+//
+// "A checkpoint is initiated by invoking the Manager with a list of
+// tuples of the form «node, pod, URI»."  The Manager broadcasts the
+// checkpoint command, collects the per-pod meta-data, issues the single
+// 'continue' barrier, and gathers completion reports.  For restart it
+// derives the schedule (roles + overlap discards) from the meta-data and
+// distributes the modified tables with the restart command.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/protocol.h"
+#include "core/schedule.h"
+#include "core/trace.h"
+#include "os/node.h"
+
+namespace zapc::core {
+
+class Manager {
+ public:
+  /// «node, pod, URI» tuple: which agent, which pod, where the image goes
+  /// (checkpoint) or comes from (restart).  `vip` is optional (0 =
+  /// unknown); supplying it lets the send-queue redirect optimization
+  /// work on the first checkpoint of a job (otherwise the Manager only
+  /// knows pod addresses from a previous checkpoint's meta-data).
+  struct Target {
+    net::SockAddr agent;
+    std::string pod_name;
+    std::string uri;
+    net::IpAddr vip{};
+  };
+
+  struct CheckpointReport {
+    bool ok = false;
+    std::string error;
+    std::vector<CkptDone> agents;          // per-pod completion reports
+    std::map<std::string, ckpt::NetMeta> metas;  // pod name → meta-data
+    sim::Time total_us = 0;     // invocation → all pods reported done
+    sim::Time sync_us = 0;      // invocation → continue broadcast (barrier)
+    u64 max_image_bytes = 0;    // largest pod image (paper Fig. 6c metric)
+    u64 max_network_bytes = 0;
+    u64 max_net_ckpt_us = 0;    // slowest network-state checkpoint
+  };
+  using CheckpointDoneFn = std::function<void(CheckpointReport)>;
+
+  struct RestartReport {
+    bool ok = false;
+    std::string error;
+    std::vector<RestartDone> agents;
+    sim::Time total_us = 0;
+    u64 max_connectivity_us = 0;
+    u64 max_net_restore_us = 0;
+  };
+  using RestartDoneFn = std::function<void(RestartReport)>;
+
+  explicit Manager(os::Node& node, Trace* trace = nullptr);
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// Coordinated checkpoint of all targets.  `redirect_send_queues`
+  /// enables the migration send-queue redirect optimization (only
+  /// meaningful with CkptMode::MIGRATE and agent:// URIs).
+  void checkpoint(std::vector<Target> targets, CkptMode mode,
+                  CheckpointDoneFn done, bool redirect_send_queues = false,
+                  bool fs_snapshot = false);
+
+  /// Coordinated restart.  `metas` must hold the checkpoint meta-data per
+  /// pod name; pass {} to use the metas cached from the last checkpoint
+  /// this Manager ran.
+  void restart(std::vector<Target> targets,
+               std::map<std::string, ckpt::NetMeta> metas,
+               RestartDoneFn done);
+
+  /// One endpoint of a live migration: which agent currently hosts the
+  /// pod, where it should go, and its virtual address.
+  struct MigrateTarget {
+    net::SockAddr from_agent;
+    net::SockAddr to_agent;
+    std::string pod_name;
+    net::IpAddr vip;
+  };
+
+  struct MigrateReport {
+    bool ok = false;
+    std::string error;
+    CheckpointReport checkpoint;
+    RestartReport restart;
+    sim::Time total_us = 0;
+  };
+  using MigrateDoneFn = std::function<void(MigrateReport)>;
+
+  /// Live migration in one call (paper §1: "directly stream checkpoint
+  /// data from one set of nodes to another"): coordinated MIGRATE
+  /// checkpoint with direct agent-to-agent streaming and the send-queue
+  /// redirect optimization, followed by the coordinated restart on the
+  /// destination agents.
+  void migrate(std::vector<MigrateTarget> targets, MigrateDoneFn done);
+
+  /// Meta-data cached from the last successful checkpoint.
+  const std::map<std::string, ckpt::NetMeta>& last_metas() const {
+    return last_metas_;
+  }
+
+  bool busy() const { return op_ != nullptr || rop_ != nullptr; }
+
+ private:
+  struct CkptPeer {
+    Target target;
+    std::unique_ptr<MsgChannel> ch;
+    bool meta_received = false;
+    bool done_received = false;
+    CkptDone done;
+  };
+  struct CkptState {
+    std::vector<CkptPeer> peers;
+    CkptMode mode{};
+    bool redirect = false;
+    sim::Time t_start = 0;
+    sim::Time t_sync = 0;
+    CheckpointReport report;
+    CheckpointDoneFn done_fn;
+    bool continued = false;
+    bool finished = false;
+  };
+
+  struct RestartPeer {
+    Target target;
+    std::unique_ptr<MsgChannel> ch;
+    bool done_received = false;
+    RestartDone done;
+  };
+  struct RestartState {
+    std::vector<RestartPeer> peers;
+    sim::Time t_start = 0;
+    RestartReport report;
+    RestartDoneFn done_fn;
+    bool finished = false;
+  };
+
+  void ckpt_on_msg(std::size_t idx, Bytes msg);
+  void ckpt_on_closed(std::size_t idx);
+  void ckpt_maybe_continue();
+  void ckpt_maybe_finish();
+  void ckpt_fail(const std::string& why);
+
+  void restart_on_msg(std::size_t idx, Bytes msg);
+  void restart_on_closed(std::size_t idx);
+  void restart_maybe_finish();
+  void restart_fail(const std::string& why);
+
+  void trace(const std::string& what);
+
+  os::Node& node_;
+  Trace* trace_;
+  std::unique_ptr<CkptState> op_;
+  std::unique_ptr<RestartState> rop_;
+  std::map<std::string, ckpt::NetMeta> last_metas_;
+  bool last_redirect_ = false;  // last checkpoint used the redirect opt.
+  // Pods whose destination agents were advertised for the redirect (only
+  // their connections have redirect records to wait for at restart).
+  std::set<net::IpAddr> last_redirect_covered_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace zapc::core

@@ -1,0 +1,259 @@
+#include "core/protocol.h"
+
+namespace zapc::core {
+namespace {
+
+Encoder header(MsgType t) {
+  Encoder e;
+  e.put_u8(static_cast<u8>(t));
+  return e;
+}
+
+Result<Decoder> open_msg(const Bytes& msg, MsgType expect) {
+  Decoder d(msg);
+  auto t = d.u8_();
+  if (!t) return Status(Err::PROTO, "empty message");
+  if (static_cast<MsgType>(t.value()) != expect) {
+    return Status(Err::PROTO, "unexpected message type");
+  }
+  return d;
+}
+
+void put_addr(Encoder& e, const net::SockAddr& a) {
+  e.put_u32(a.ip.v);
+  e.put_u16(a.port);
+}
+
+net::SockAddr get_addr(Decoder& d) {
+  net::SockAddr a;
+  a.ip.v = d.u32_().value_or(0);
+  a.port = d.u16_().value_or(0);
+  return a;
+}
+
+}  // namespace
+
+Result<MsgType> peek_type(const Bytes& msg) {
+  if (msg.empty()) return Status(Err::PROTO, "empty message");
+  return static_cast<MsgType>(msg[0]);
+}
+
+Bytes encode_checkpoint_cmd(const CheckpointCmd& m) {
+  Encoder e = header(MsgType::CHECKPOINT_CMD);
+  e.put_string(m.pod_name);
+  e.put_string(m.dest_uri);
+  e.put_u8(static_cast<u8>(m.mode));
+  e.put_bool(m.redirect_send_queues);
+  e.put_bool(m.fs_snapshot);
+  e.put_u32(static_cast<u32>(m.peer_agents.size()));
+  for (const auto& [vip, addr] : m.peer_agents) {
+    e.put_u32(vip.v);
+    put_addr(e, addr);
+  }
+  return e.take();
+}
+
+Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::CHECKPOINT_CMD);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  CheckpointCmd m;
+  m.pod_name = d.string_().value_or("");
+  m.dest_uri = d.string_().value_or("");
+  m.mode = static_cast<CkptMode>(d.u8_().value_or(0));
+  m.redirect_send_queues = d.bool_().value_or(false);
+  m.fs_snapshot = d.bool_().value_or(false);
+  u32 n = d.count_(10).value_or(0);
+  for (u32 i = 0; i < n; ++i) {
+    net::IpAddr vip(d.u32_().value_or(0));
+    m.peer_agents.emplace_back(vip, get_addr(d));
+  }
+  return m;
+}
+
+Bytes encode_meta_report(const MetaReport& m) {
+  Encoder e = header(MsgType::META_REPORT);
+  e.put_string(m.pod_name);
+  e.put_bytes(ckpt::encode_meta(m.meta));
+  e.put_u64(m.net_ckpt_us);
+  return e.take();
+}
+
+Result<MetaReport> decode_meta_report(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::META_REPORT);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  MetaReport m;
+  m.pod_name = d.string_().value_or("");
+  auto meta = ckpt::decode_meta(d.bytes_().value_or({}));
+  if (!meta) return meta.status();
+  m.meta = std::move(meta).value();
+  m.net_ckpt_us = d.u64_().value_or(0);
+  return m;
+}
+
+Bytes encode_continue() { return header(MsgType::CONTINUE).take(); }
+
+Bytes encode_ckpt_done(const CkptDone& m) {
+  Encoder e = header(MsgType::CKPT_DONE);
+  e.put_string(m.pod_name);
+  e.put_bool(m.ok);
+  e.put_string(m.error);
+  e.put_u64(m.image_bytes);
+  e.put_u64(m.network_bytes);
+  e.put_u64(m.total_us);
+  return e.take();
+}
+
+Result<CkptDone> decode_ckpt_done(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::CKPT_DONE);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  CkptDone m;
+  m.pod_name = d.string_().value_or("");
+  m.ok = d.bool_().value_or(false);
+  m.error = d.string_().value_or("");
+  m.image_bytes = d.u64_().value_or(0);
+  m.network_bytes = d.u64_().value_or(0);
+  m.total_us = d.u64_().value_or(0);
+  return m;
+}
+
+Bytes encode_restart_cmd(const RestartCmd& m) {
+  Encoder e = header(MsgType::RESTART_CMD);
+  e.put_string(m.pod_name);
+  e.put_string(m.source_uri);
+  e.put_bytes(ckpt::encode_meta(m.meta));
+  e.put_u32(static_cast<u32>(m.locations.size()));
+  for (const auto& [vip, real] : m.locations) {
+    e.put_u32(vip.v);
+    e.put_u32(real.v);
+  }
+  return e.take();
+}
+
+Result<RestartCmd> decode_restart_cmd(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::RESTART_CMD);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  RestartCmd m;
+  m.pod_name = d.string_().value_or("");
+  m.source_uri = d.string_().value_or("");
+  auto meta = ckpt::decode_meta(d.bytes_().value_or({}));
+  if (!meta) return meta.status();
+  m.meta = std::move(meta).value();
+  u32 n = d.count_(8).value_or(0);
+  for (u32 i = 0; i < n; ++i) {
+    net::IpAddr vip(d.u32_().value_or(0));
+    net::IpAddr real(d.u32_().value_or(0));
+    m.locations.emplace_back(vip, real);
+  }
+  return m;
+}
+
+Bytes encode_restart_done(const RestartDone& m) {
+  Encoder e = header(MsgType::RESTART_DONE);
+  e.put_string(m.pod_name);
+  e.put_bool(m.ok);
+  e.put_string(m.error);
+  e.put_u64(m.connectivity_us);
+  e.put_u64(m.net_restore_us);
+  e.put_u64(m.total_us);
+  return e.take();
+}
+
+Result<RestartDone> decode_restart_done(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::RESTART_DONE);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  RestartDone m;
+  m.pod_name = d.string_().value_or("");
+  m.ok = d.bool_().value_or(false);
+  m.error = d.string_().value_or("");
+  m.connectivity_us = d.u64_().value_or(0);
+  m.net_restore_us = d.u64_().value_or(0);
+  m.total_us = d.u64_().value_or(0);
+  return m;
+}
+
+Bytes encode_stream_open(const StreamOpen& m) {
+  Encoder e = header(MsgType::STREAM_OPEN);
+  e.put_string(m.tag);
+  return e.take();
+}
+
+Result<StreamOpen> decode_stream_open(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::STREAM_OPEN);
+  if (!dr) return dr.status();
+  StreamOpen m;
+  m.tag = dr.value().string_().value_or("");
+  return m;
+}
+
+Bytes encode_stream_chunk(const StreamChunk& m) {
+  Encoder e = header(MsgType::STREAM_CHUNK);
+  e.put_string(m.tag);
+  e.put_bytes(m.data);
+  return e.take();
+}
+
+Result<StreamChunk> decode_stream_chunk(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::STREAM_CHUNK);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  StreamChunk m;
+  m.tag = d.string_().value_or("");
+  m.data = d.bytes_().value_or({});
+  return m;
+}
+
+Bytes encode_stream_close(const StreamClose& m) {
+  Encoder e = header(MsgType::STREAM_CLOSE);
+  e.put_string(m.tag);
+  return e.take();
+}
+
+Result<StreamClose> decode_stream_close(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::STREAM_CLOSE);
+  if (!dr) return dr.status();
+  StreamClose m;
+  m.tag = dr.value().string_().value_or("");
+  return m;
+}
+
+Bytes encode_redirect_data(const RedirectData& m) {
+  Encoder e = header(MsgType::REDIRECT_DATA);
+  e.put_u32(m.dst_pod_vip.v);
+  put_addr(e, m.dst_local);
+  put_addr(e, m.dst_remote);
+  e.put_u32(m.sender_acked);
+  e.put_bytes(m.data);
+  return e.take();
+}
+
+Result<RedirectData> decode_redirect_data(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::REDIRECT_DATA);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  RedirectData m;
+  m.dst_pod_vip.v = d.u32_().value_or(0);
+  m.dst_local = get_addr(d);
+  m.dst_remote = get_addr(d);
+  m.sender_acked = d.u32_().value_or(0);
+  m.data = d.bytes_().value_or({});
+  return m;
+}
+
+Bytes encode_abort(const std::string& reason) {
+  Encoder e = header(MsgType::ABORT);
+  e.put_string(reason);
+  return e.take();
+}
+
+Result<std::string> decode_abort(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::ABORT);
+  if (!dr) return dr.status();
+  return dr.value().string_().value_or("");
+}
+
+}  // namespace zapc::core

@@ -1,0 +1,138 @@
+// Manager ↔ Agent wire protocol.
+//
+// One typed message per MsgChannel frame.  The message flow implements
+// Figures 1 and 3 of the paper:
+//
+//   checkpoint:  M→A CHECKPOINT_CMD,  A→M META_REPORT,  M→A CONTINUE,
+//                A→M CKPT_DONE
+//   restart:     M→A RESTART_CMD (with the modified meta-data),
+//                A→M RESTART_DONE
+//   migration:   A→A STREAM_* (direct checkpoint streaming) and
+//                REDIRECT_DATA (send-queue redirect optimization)
+//   failure:     M→A / A→M ABORT
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/image.h"
+#include "util/serialize.h"
+
+namespace zapc::core {
+
+enum class MsgType : u8 {
+  CHECKPOINT_CMD = 1,
+  META_REPORT = 2,
+  CONTINUE = 3,
+  CKPT_DONE = 4,
+  RESTART_CMD = 5,
+  RESTART_DONE = 6,
+  STREAM_OPEN = 7,
+  STREAM_CHUNK = 8,
+  STREAM_CLOSE = 9,
+  REDIRECT_DATA = 10,
+  ABORT = 11,
+};
+
+/// What happens to the pod after its checkpoint completes (paper §4: "the
+/// action taken by the Agent depends on the context of the checkpoint").
+enum class CkptMode : u8 {
+  SNAPSHOT = 0,  // resume execution on the same node
+  MIGRATE = 1,   // destroy the pod; it restarts elsewhere
+};
+
+struct CheckpointCmd {
+  std::string pod_name;
+  std::string dest_uri;  // "san://<path>" or "agent://<ip>:<port>/<tag>"
+  CkptMode mode = CkptMode::SNAPSHOT;
+  bool redirect_send_queues = false;  // migration optimization (paper §5)
+  bool fs_snapshot = false;           // take a SAN snapshot of the pod dir
+  /// For the redirect optimization: where each peer pod's checkpoint
+  /// stream is being received (vip → receiving agent address/tag).
+  std::vector<std::pair<net::IpAddr, net::SockAddr>> peer_agents;
+};
+
+struct MetaReport {
+  std::string pod_name;
+  ckpt::NetMeta meta;
+  u64 net_ckpt_us = 0;  // time spent in the network-state checkpoint
+};
+
+struct CkptDone {
+  std::string pod_name;
+  bool ok = false;
+  std::string error;
+  u64 image_bytes = 0;
+  u64 network_bytes = 0;
+  u64 total_us = 0;  // suspend → done, as seen by the agent
+};
+
+struct RestartCmd {
+  std::string pod_name;
+  std::string source_uri;  // "san://<path>" or "stream://<tag>"
+  ckpt::NetMeta meta;      // modified meta-data with roles + discards
+  /// Virtual→real location updates for every participating pod.
+  std::vector<std::pair<net::IpAddr, net::IpAddr>> locations;
+};
+
+struct RestartDone {
+  std::string pod_name;
+  bool ok = false;
+  std::string error;
+  u64 connectivity_us = 0;
+  u64 net_restore_us = 0;
+  u64 total_us = 0;
+};
+
+struct StreamOpen {
+  std::string tag;
+};
+struct StreamChunk {
+  std::string tag;
+  Bytes data;
+};
+struct StreamClose {
+  std::string tag;
+};
+
+/// Send-queue redirect: contents of the sender's send queue shipped
+/// directly to the agent receiving the *peer* pod's checkpoint stream.
+struct RedirectData {
+  net::IpAddr dst_pod_vip;    // the pod whose socket will consume this
+  net::SockAddr dst_local;    // that socket's local address
+  net::SockAddr dst_remote;   // ... and remote address (the sender)
+  u32 sender_acked = 0;       // for overlap discard at the receiver
+  Bytes data;
+};
+
+// ---- Encoding ----------------------------------------------------------------
+
+Bytes encode_checkpoint_cmd(const CheckpointCmd& m);
+Bytes encode_meta_report(const MetaReport& m);
+Bytes encode_continue();
+Bytes encode_ckpt_done(const CkptDone& m);
+Bytes encode_restart_cmd(const RestartCmd& m);
+Bytes encode_restart_done(const RestartDone& m);
+Bytes encode_stream_open(const StreamOpen& m);
+Bytes encode_stream_chunk(const StreamChunk& m);
+Bytes encode_stream_close(const StreamClose& m);
+Bytes encode_redirect_data(const RedirectData& m);
+Bytes encode_abort(const std::string& reason);
+
+/// Peeks the type of an encoded message.
+Result<MsgType> peek_type(const Bytes& msg);
+
+Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg);
+Result<MetaReport> decode_meta_report(const Bytes& msg);
+Result<CkptDone> decode_ckpt_done(const Bytes& msg);
+Result<RestartCmd> decode_restart_cmd(const Bytes& msg);
+Result<RestartDone> decode_restart_done(const Bytes& msg);
+Result<StreamOpen> decode_stream_open(const Bytes& msg);
+Result<StreamChunk> decode_stream_chunk(const Bytes& msg);
+Result<StreamClose> decode_stream_close(const Bytes& msg);
+Result<RedirectData> decode_redirect_data(const Bytes& msg);
+Result<std::string> decode_abort(const Bytes& msg);
+
+}  // namespace zapc::core

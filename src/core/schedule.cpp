@@ -1,0 +1,117 @@
+#include "core/schedule.h"
+
+#include <set>
+
+#include "util/log.h"
+
+namespace zapc::core {
+namespace {
+
+bool is_connection(ckpt::ConnState s) {
+  return s == ckpt::ConnState::FULL_DUPLEX ||
+         s == ckpt::ConnState::HALF_DUPLEX || s == ckpt::ConnState::CLOSED;
+}
+
+/// True if this endpoint's source port is shared on its pod — covered by
+/// a listener or used by more than one connection — which forces the
+/// ACCEPT role so the port is inherited rather than bound.
+bool source_port_shared(const ckpt::NetMeta& meta,
+                        const ckpt::NetMetaEntry& e) {
+  int conn_users = 0;
+  for (const auto& other : meta.entries) {
+    if (other.state == ckpt::ConnState::LISTENER &&
+        other.source.port == e.source.port) {
+      return true;
+    }
+    if (is_connection(other.state) && other.source.port == e.source.port) {
+      ++conn_users;
+    }
+  }
+  return conn_users > 1;
+}
+
+}  // namespace
+
+Result<RestartPlan> build_restart_plan(
+    const std::vector<ckpt::NetMeta>& metas) {
+  RestartPlan plan;
+  for (const auto& m : metas) plan.pod_meta[m.pod_vip] = m;
+
+  // Finds the peer entry of a connection (source/target swapped).
+  auto find_peer = [&plan](const ckpt::NetMetaEntry& e)
+      -> ckpt::NetMetaEntry* {
+    auto it = plan.pod_meta.find(e.target.ip);
+    if (it == plan.pod_meta.end()) return nullptr;
+    for (auto& cand : it->second.entries) {
+      if (is_connection(cand.state) && cand.source == e.target &&
+          cand.target == e.source) {
+        return &cand;
+      }
+    }
+    return nullptr;
+  };
+
+  for (auto& [vip, meta] : plan.pod_meta) {
+    for (auto& e : meta.entries) {
+      if (e.state == ckpt::ConnState::LISTENER) continue;
+      if (e.state == ckpt::ConnState::CONNECTING) {
+        // Not yet established: simply re-initiate the connect.
+        e.role = ckpt::PeerRole::CONNECT;
+        e.discard_send = 0;
+        continue;
+      }
+      if (e.state == ckpt::ConnState::CLOSED) {
+        // Both directions closed: restored locally (queued data + EOF);
+        // no peer cooperation needed, so a vanished peer is fine.
+        e.role = ckpt::PeerRole::CONNECT;
+        e.discard_send = 0;
+        continue;
+      }
+      ckpt::NetMetaEntry* peer = find_peer(e);
+      if (peer == nullptr) {
+        return Status(Err::NO_ENT,
+                      "connection " + e.source.to_string() + " -> " +
+                          e.target.to_string() +
+                          " has no peer inside the cluster");
+      }
+
+      // Overlap discard (paper §5): bytes the peer already received
+      // in order are dropped from our send queue before the resend.
+      u32 overlap = peer->pcb_recv - e.pcb_acked;
+      // Guard against wrap artifacts; a real overlap is small.
+      e.discard_send = (overlap & 0x80000000u) ? 0 : overlap;
+
+      // Role assignment.  Process each pair once (from the side with the
+      // lexicographically smaller endpoint) to keep the two tags
+      // consistent.
+      bool self_first = std::make_pair(e.source.ip.v, e.source.port) <
+                        std::make_pair(e.target.ip.v, e.target.port);
+      if (!self_first) continue;  // the peer's iteration assigns both
+
+      bool self_shared = source_port_shared(meta, e);
+      bool peer_shared =
+          source_port_shared(plan.pod_meta[e.target.ip], *peer);
+      if (self_shared && !peer_shared) {
+        e.role = ckpt::PeerRole::ACCEPT;
+        peer->role = ckpt::PeerRole::CONNECT;
+      } else if (peer_shared && !self_shared) {
+        e.role = ckpt::PeerRole::CONNECT;
+        peer->role = ckpt::PeerRole::ACCEPT;
+      } else if (self_shared && peer_shared) {
+        // Both endpoints inherited their port; impossible for a single
+        // TCP connection to have been created that way.
+        return Status(Err::INVALID,
+                      "both endpoints of " + e.source.to_string() +
+                          " share source ports");
+      } else {
+        // Arbitrary but deterministic (paper §4: "normally determined
+        // arbitrarily").
+        e.role = ckpt::PeerRole::CONNECT;
+        peer->role = ckpt::PeerRole::ACCEPT;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace zapc::core

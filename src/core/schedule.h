@@ -1,0 +1,33 @@
+// Manager-side restart scheduling (paper §4).
+//
+// From the meta-data tables collected at checkpoint, the Manager derives
+// the restart schedule: it pairs the two endpoints of every internal
+// connection, tags each entry *connect* or *accept* (arbitrary unless
+// several connections share a source port, in which case the sharing
+// side must accept so the port is inherited from a listening socket as it
+// originally was), and computes the send-queue overlap each side must
+// discard (paper §5: discard = peer.recv − self.acked, taken from the
+// send queue to avoid transferring duplicate data over the network).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ckpt/image.h"
+
+namespace zapc::core {
+
+/// The per-pod modified meta-data the Manager distributes with the
+/// restart command.
+struct RestartPlan {
+  std::map<net::IpAddr, ckpt::NetMeta> pod_meta;
+};
+
+/// Builds the restart plan from the checkpoint meta-data of all pods.
+/// Fails with Err::NO_ENT if a connection's peer endpoint is not among
+/// the participating pods (connections leaving the cluster are outside
+/// the paper's scope).
+Result<RestartPlan> build_restart_plan(
+    const std::vector<ckpt::NetMeta>& metas);
+
+}  // namespace zapc::core

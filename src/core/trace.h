@@ -1,0 +1,30 @@
+// Event trace used to regenerate the paper's Figure 2 timeline and to
+// debug the coordinated protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace zapc::core {
+
+struct TraceEvent {
+  sim::Time t = 0;
+  std::string who;   // "manager", "agent@n3", ...
+  std::string what;  // "2: network checkpoint done", ...
+};
+
+class Trace {
+ public:
+  void add(sim::Time t, std::string who, std::string what) {
+    events_.push_back(TraceEvent{t, std::move(who), std::move(what)});
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace zapc::core

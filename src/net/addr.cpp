@@ -1,0 +1,40 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace zapc::net {
+
+std::string IpAddr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v >> 24) & 0xFF,
+                (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF);
+  return buf;
+}
+
+Result<IpAddr> IpAddr::parse(const std::string& s) {
+  unsigned a, b, c, d;
+  char extra;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4) {
+    return Status(Err::INVALID, "malformed address: " + s);
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) {
+    return Status(Err::INVALID, "octet out of range: " + s);
+  }
+  return IpAddr(static_cast<u8>(a), static_cast<u8>(b), static_cast<u8>(c),
+                static_cast<u8>(d));
+}
+
+std::string SockAddr::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::TCP: return "tcp";
+    case Proto::UDP: return "udp";
+    case Proto::RAW: return "raw";
+  }
+  return "?";
+}
+
+}  // namespace zapc::net

@@ -1,0 +1,55 @@
+#include "net/fabric.h"
+
+#include "util/log.h"
+
+namespace zapc::net {
+
+void Fabric::attach(IpAddr node_addr, DeliverFn deliver) {
+  nics_[node_addr] = Nic{std::move(deliver), engine_.now()};
+}
+
+void Fabric::detach(IpAddr node_addr) { nics_.erase(node_addr); }
+
+void Fabric::send(WirePacket pkt) {
+  ++stats_.packets_sent;
+
+  auto src_it = nics_.find(pkt.src_node);
+  // Egress serialization: the sender's NIC transmits packets back to back.
+  sim::Time tx_start = engine_.now();
+  if (src_it != nics_.end()) {
+    tx_start = std::max(tx_start, src_it->second.busy_until);
+  }
+  sim::Time tx_time =
+      config_.bandwidth_bps == 0
+          ? 0
+          : static_cast<sim::Time>(pkt.wire_size() * 8ull * sim::kSecond /
+                                   config_.bandwidth_bps);
+  if (src_it != nics_.end()) {
+    src_it->second.busy_until = tx_start + tx_time;
+  }
+
+  if (config_.loss_prob > 0 && rng_.chance(config_.loss_prob)) {
+    ++stats_.packets_dropped_loss;
+    ZLOG_DEBUG("fabric: drop (loss) " << pkt.inner.summary());
+    return;
+  }
+
+  sim::Time extra =
+      config_.jitter > 0 ? rng_.below(config_.jitter + 1) : 0;
+  sim::Time arrival = tx_start + tx_time + config_.latency + extra;
+
+  IpAddr dst = pkt.dst_node;
+  engine_.schedule_at(arrival, [this, dst, p = std::move(pkt)]() mutable {
+    auto it = nics_.find(dst);
+    if (it == nics_.end()) {
+      ++stats_.packets_dropped_noroute;
+      ZLOG_DEBUG("fabric: drop (no route) " << p.inner.summary());
+      return;
+    }
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += p.wire_size();
+    it->second.deliver(p);
+  });
+}
+
+}  // namespace zapc::net

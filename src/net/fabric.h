@@ -1,0 +1,83 @@
+// Cluster interconnect simulator.
+//
+// Models the Gigabit-Ethernet switch of the paper's BladeCenter testbed:
+// per-NIC serialization delay (bandwidth), propagation latency with
+// optional jitter, and optional packet loss.  Delivery is asynchronous via
+// the discrete-event engine, so packets genuinely are "in flight" and can
+// be dropped by a pod's packet filter while a checkpoint freezes the
+// network — the failure mode §5 of the paper reasons about.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace zapc::net {
+
+/// Link characteristics applied to every wire packet.
+struct FabricConfig {
+  sim::Time latency = 50 * sim::kMicrosecond;  // one-way propagation
+  sim::Time jitter = 0;                        // uniform extra [0, jitter]
+  double loss_prob = 0.0;                      // independent drop chance
+  u64 bandwidth_bps = 1'000'000'000;           // per-NIC egress bandwidth
+  u64 seed = 42;                               // RNG for loss/jitter
+};
+
+/// Statistics for tests and benches.
+struct FabricStats {
+  u64 packets_sent = 0;
+  u64 packets_delivered = 0;
+  u64 packets_dropped_loss = 0;     // random loss
+  u64 packets_dropped_noroute = 0;  // destination not registered
+  u64 bytes_delivered = 0;
+};
+
+/// The wire: routes WirePackets between registered node NICs.
+class Fabric {
+ public:
+  /// Called on the receiving node when a packet arrives.
+  using DeliverFn = std::function<void(const WirePacket&)>;
+
+  Fabric(sim::Engine& engine, FabricConfig config = {})
+      : engine_(engine), config_(config), rng_(config.seed) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Registers (or replaces) the NIC of a node.
+  void attach(IpAddr node_addr, DeliverFn deliver);
+
+  /// Removes a node from the network (models node failure / removal).
+  void detach(IpAddr node_addr);
+
+  bool attached(IpAddr node_addr) const {
+    return nics_.count(node_addr) != 0;
+  }
+
+  /// Sends a wire packet; it is delivered (or dropped) asynchronously.
+  void send(WirePacket pkt);
+
+  const FabricStats& stats() const { return stats_; }
+  const FabricConfig& config() const { return config_; }
+
+  /// Adjusts loss probability at runtime (failure-injection tests).
+  void set_loss_prob(double p) { config_.loss_prob = p; }
+
+ private:
+  struct Nic {
+    DeliverFn deliver;
+    sim::Time busy_until = 0;  // egress serialization (bandwidth model)
+  };
+
+  sim::Engine& engine_;
+  FabricConfig config_;
+  Rng rng_;
+  std::unordered_map<IpAddr, Nic> nics_;
+  FabricStats stats_;
+};
+
+}  // namespace zapc::net

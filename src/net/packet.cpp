@@ -1,0 +1,24 @@
+#include "net/packet.h"
+
+#include <sstream>
+
+namespace zapc::net {
+
+std::string Packet::summary() const {
+  std::ostringstream os;
+  os << proto_name(proto) << " " << src.to_string() << " -> "
+     << dst.to_string();
+  if (proto == Proto::TCP) {
+    os << " [";
+    if (has(kSyn)) os << "S";
+    if (has(kAck)) os << "A";
+    if (has(kFin)) os << "F";
+    if (has(kRst)) os << "R";
+    if (has(kUrg)) os << "U";
+    os << "] seq=" << seq << " ack=" << ack;
+  }
+  os << " len=" << payload.size();
+  return os.str();
+}
+
+}  // namespace zapc::net

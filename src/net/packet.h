@@ -1,0 +1,60 @@
+// Packet formats.
+//
+// The cluster interconnect is an overlay: guest (pod) packets carry
+// virtual addresses and are encapsulated in wire packets that carry the
+// real node addresses (this models Zap's virtual-to-real network address
+// remapping).
+#pragma once
+
+#include <string>
+
+#include "net/addr.h"
+#include "util/types.h"
+
+namespace zapc::net {
+
+/// TCP header flags.
+enum TcpFlag : u8 {
+  kSyn = 1 << 0,
+  kAck = 1 << 1,
+  kFin = 1 << 2,
+  kRst = 1 << 3,
+  kUrg = 1 << 4,
+};
+
+/// A transport-layer packet in the guest (virtual) address space.
+struct Packet {
+  Proto proto = Proto::UDP;
+  SockAddr src;
+  SockAddr dst;
+
+  // TCP-only header fields (ignored for UDP/RAW).
+  u8 flags = 0;
+  u32 seq = 0;      // sequence number of first payload byte
+  u32 ack = 0;      // acknowledgment number (valid with kAck)
+  u32 wnd = 0;      // advertised receive window
+  u32 urg_ptr = 0;  // sequence offset of urgent byte (valid with kUrg)
+
+  // RAW-only: the guest protocol number carried in the IP header.
+  u8 raw_proto = 0;
+
+  Bytes payload;
+
+  bool has(TcpFlag f) const { return (flags & f) != 0; }
+
+  /// Total modeled size in bytes (headers + payload) for bandwidth costs.
+  std::size_t wire_size() const { return 40 + payload.size(); }
+
+  std::string summary() const;
+};
+
+/// An encapsulated packet on the physical cluster network.
+struct WirePacket {
+  IpAddr src_node;  // real address of sending node
+  IpAddr dst_node;  // real address of receiving node
+  Packet inner;
+
+  std::size_t wire_size() const { return 20 + inner.wire_size(); }
+};
+
+}  // namespace zapc::net

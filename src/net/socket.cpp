@@ -1,0 +1,142 @@
+#include "net/socket.h"
+
+#include <algorithm>
+
+#include "net/stack.h"
+
+namespace zapc::net {
+
+Result<RecvResult> AltRecvQueue::serve(bool stream, std::size_t maxlen,
+                                       u32 flags) {
+  if (items_.empty()) return Status(Err::WOULD_BLOCK, "alt queue empty");
+
+  const bool peek = (flags & MSG_PEEK) != 0;
+  RecvResult out;
+
+  if (!stream) {
+    // Datagram semantics: one item per call, truncating to maxlen.
+    RecvItem& item = items_.front();
+    out.from = item.from;
+    out.oob = item.oob;
+    std::size_t n = std::min(maxlen, item.data.size());
+    out.data.assign(item.data.begin(), item.data.begin() + n);
+    if (!peek) items_.pop_front();
+    return out;
+  }
+
+  // Stream semantics: merge items up to maxlen, but never merge across an
+  // out-of-band boundary and stop before an OOB byte so POLLPRI semantics
+  // survive restore.
+  std::size_t taken = 0;
+  std::size_t idx = 0;
+  while (taken < maxlen && idx < items_.size()) {
+    RecvItem& item = items_[idx];
+    if (item.oob) {
+      if (taken > 0) break;  // deliver pending normal data first
+      if ((flags & MSG_OOB) == 0) break;
+      out.oob = true;
+      out.from = item.from;
+      out.data = item.data;
+      if (!peek) items_.erase(items_.begin());
+      return out;
+    }
+    if ((flags & MSG_OOB) != 0) {
+      // No OOB data at the head: let the caller fall through to the
+      // protocol's own urgent-data channel.
+      return Status(Err::WOULD_BLOCK, "no OOB data in alt queue");
+    }
+    out.from = item.from;
+    std::size_t n = std::min(maxlen - taken, item.data.size());
+    out.data.insert(out.data.end(), item.data.begin(),
+                    item.data.begin() + n);
+    taken += n;
+    if (!peek) {
+      if (n == item.data.size()) {
+        items_.pop_front();
+        // idx stays 0
+      } else {
+        item.data.erase(item.data.begin(), item.data.begin() + n);
+        break;
+      }
+    } else {
+      if (n < item.data.size()) break;
+      ++idx;
+    }
+  }
+  if (out.data.empty() && !out.oob) {
+    return Status(Err::WOULD_BLOCK, "alt queue has only OOB data");
+  }
+  return out;
+}
+
+std::size_t AltRecvQueue::byte_size() const {
+  std::size_t n = 0;
+  for (const auto& i : items_) n += i.data.size();
+  return n;
+}
+
+Socket::Socket(Stack& stack, SockId id, Proto proto)
+    : stack_(stack), id_(id), proto_(proto) {
+  reset_default_ops();
+}
+
+void Socket::notify() {
+  if (on_event_) on_event_();
+  stack_.on_socket_event(id_);
+}
+
+void Socket::reset_default_ops() {
+  ops_.recvmsg = [](Socket& s, std::size_t maxlen, u32 flags) {
+    return s.do_recvmsg(maxlen, flags);
+  };
+  ops_.poll = [](Socket& s) { return s.do_poll(); };
+  ops_.release = [](Socket& s) { s.do_release(); };
+}
+
+void Socket::install_alt_queue(std::deque<RecvItem> items) {
+  if (items.empty()) return;
+  alt_queue_ = std::make_unique<AltRecvQueue>(std::move(items));
+
+  // Interposed recvmsg: satisfy reads from the alternate queue first;
+  // reinstall the original methods once it drains.
+  SocketOps ops;
+  ops.recvmsg = [](Socket& s, std::size_t maxlen, u32 flags)
+      -> Result<RecvResult> {
+    AltRecvQueue* q = s.alt_queue_.get();
+    const bool stream = s.proto() == Proto::TCP;
+    auto r = q->serve(stream, maxlen, flags);
+    if (q->empty()) {
+      s.reset_default_ops();
+      s.drop_alt_queue();
+    }
+    if (r.is_ok()) return r;
+    if (r.err() == Err::WOULD_BLOCK) {
+      // Nothing suitable in the alternate queue; fall through to the
+      // protocol queue (e.g. OOB request while alt queue holds normal
+      // data).
+      return s.do_recvmsg(maxlen, flags);
+    }
+    return r;
+  };
+  ops.poll = [](Socket& s) {
+    u32 ev = s.do_poll();
+    AltRecvQueue* q = s.alt_queue_.get();
+    if (q && !q->empty()) {
+      ev |= POLLIN;
+      for (const auto& item : q->items()) {
+        if (item.oob) ev |= POLLPRI;
+      }
+    }
+    return ev;
+  };
+  ops.release = [](Socket& s) {
+    // Cleanup: discard unconsumed restored data, then normal release.
+    s.drop_alt_queue();
+    s.reset_default_ops();
+    s.do_release();
+  };
+  ops_ = std::move(ops);
+  notify();
+}
+
+}  // namespace zapc::net

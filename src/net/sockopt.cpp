@@ -1,0 +1,28 @@
+#include "net/sockopt.h"
+
+namespace zapc::net {
+
+const char* sockopt_name(SockOpt o) {
+  switch (o) {
+    case SockOpt::SO_REUSEADDR: return "SO_REUSEADDR";
+    case SockOpt::SO_RCVBUF: return "SO_RCVBUF";
+    case SockOpt::SO_SNDBUF: return "SO_SNDBUF";
+    case SockOpt::SO_KEEPALIVE: return "SO_KEEPALIVE";
+    case SockOpt::SO_OOBINLINE: return "SO_OOBINLINE";
+    case SockOpt::SO_BROADCAST: return "SO_BROADCAST";
+    case SockOpt::SO_LINGER: return "SO_LINGER";
+    case SockOpt::SO_RCVTIMEO: return "SO_RCVTIMEO";
+    case SockOpt::SO_SNDTIMEO: return "SO_SNDTIMEO";
+    case SockOpt::SO_PRIORITY: return "SO_PRIORITY";
+    case SockOpt::O_NONBLOCK: return "O_NONBLOCK";
+    case SockOpt::TCP_NODELAY: return "TCP_NODELAY";
+    case SockOpt::TCP_KEEPIDLE: return "TCP_KEEPIDLE";
+    case SockOpt::TCP_STDURG: return "TCP_STDURG";
+    case SockOpt::TCP_MAXSEG: return "TCP_MAXSEG";
+    case SockOpt::IP_TTL: return "IP_TTL";
+    case SockOpt::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace zapc::net

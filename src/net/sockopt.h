@@ -1,0 +1,79 @@
+// Socket options.
+//
+// The paper (§5) saves socket parameters exclusively through the standard
+// getsockopt/setsockopt interface: "For correctness, the entire set of the
+// parameters is included in the saved state."  We therefore keep every
+// behavioural socket property in this enumerable option table so the
+// checkpointer can round-trip all of them without touching socket
+// internals.
+#pragma once
+
+#include <array>
+
+#include "util/types.h"
+
+namespace zapc::net {
+
+/// Enumerable socket options (SOL_SOCKET, IPPROTO_TCP and IPPROTO_IP
+/// levels are flattened into one namespace).
+enum class SockOpt : u32 {
+  // Generic socket level.
+  SO_REUSEADDR = 0,   // allow rebinding a recently used address
+  SO_RCVBUF,          // receive buffer limit (bytes)
+  SO_SNDBUF,          // send buffer limit (bytes)
+  SO_KEEPALIVE,       // enable keep-alive probing
+  SO_OOBINLINE,       // deliver urgent data inline
+  SO_BROADCAST,       // allow broadcast (UDP)
+  SO_LINGER,          // linger-on-close seconds (-1 = off)
+  SO_RCVTIMEO,        // receive timeout, microseconds (0 = none)
+  SO_SNDTIMEO,        // send timeout, microseconds (0 = none)
+  SO_PRIORITY,        // queuing priority
+  O_NONBLOCK,         // non-blocking I/O mode (fcntl flag, kept here)
+  // TCP level.
+  TCP_NODELAY,        // disable Nagle coalescing
+  TCP_KEEPIDLE,       // keep-alive idle time, microseconds
+  TCP_STDURG,         // BSD vs RFC urgent-pointer interpretation
+  TCP_MAXSEG,         // maximum segment size
+  // IP level.
+  IP_TTL,             // time to live
+
+  kCount,             // sentinel: number of options
+};
+
+constexpr std::size_t kNumSockOpts = static_cast<std::size_t>(SockOpt::kCount);
+
+/// Human-readable option name.
+const char* sockopt_name(SockOpt o);
+
+/// Default option values for a fresh socket.
+struct SockOptDefaults {
+  static i64 value(SockOpt o) {
+    switch (o) {
+      case SockOpt::SO_RCVBUF: return 256 * 1024;
+      case SockOpt::SO_SNDBUF: return 256 * 1024;
+      case SockOpt::SO_LINGER: return -1;
+      case SockOpt::IP_TTL: return 64;
+      case SockOpt::TCP_MAXSEG: return 1460;
+      default: return 0;
+    }
+  }
+};
+
+/// Per-socket option storage; values are plain integers so the whole set
+/// can be enumerated, saved and restored generically.
+class SockOptTable {
+ public:
+  SockOptTable() {
+    for (std::size_t i = 0; i < kNumSockOpts; ++i) {
+      v_[i] = SockOptDefaults::value(static_cast<SockOpt>(i));
+    }
+  }
+
+  i64 get(SockOpt o) const { return v_[static_cast<std::size_t>(o)]; }
+  void set(SockOpt o, i64 val) { v_[static_cast<std::size_t>(o)] = val; }
+
+ private:
+  std::array<i64, kNumSockOpts> v_{};
+};
+
+}  // namespace zapc::net

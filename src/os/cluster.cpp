@@ -1,0 +1,18 @@
+#include "os/cluster.h"
+
+namespace zapc::os {
+
+Node& Cluster::add_node(const std::string& name, int ncpus) {
+  auto addr = net::IpAddr(192, 168, 1,
+                          static_cast<u8>(nodes_.size() + 1));
+  return add_node_at(addr, name, ncpus);
+}
+
+Node& Cluster::add_node_at(net::IpAddr addr, const std::string& name,
+                           int ncpus) {
+  nodes_.push_back(std::make_unique<Node>(engine_, fabric_, locations_, san_,
+                                          addr, name, ncpus));
+  return *nodes_.back();
+}
+
+}  // namespace zapc::os

@@ -1,0 +1,50 @@
+// Cluster: the whole simulated testbed — engine, fabric, shared storage,
+// location table and a set of nodes (the paper's IBM BladeCenter analogue).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "os/location.h"
+#include "os/node.h"
+#include "os/san.h"
+#include "sim/engine.h"
+
+namespace zapc::os {
+
+class Cluster {
+ public:
+  explicit Cluster(net::FabricConfig fabric_config = {})
+      : fabric_(engine_, fabric_config) {}
+
+  /// Adds a node with an auto-assigned real address 192.168.1.(n+1).
+  Node& add_node(const std::string& name, int ncpus = 1);
+
+  /// Adds a node with an explicit real address (e.g. to model a second
+  /// cluster on a different subnet for migration experiments).
+  Node& add_node_at(net::IpAddr addr, const std::string& name, int ncpus = 1);
+
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return fabric_; }
+  VirtualSAN& san() { return san_; }
+  LocationTable& locations() { return locations_; }
+
+  /// Runs the simulation for a stretch of virtual time.
+  void run_for(sim::Time t) { engine_.run_until(engine_.now() + t); }
+  void run_until(sim::Time t) { engine_.run_until(t); }
+  sim::Time now() const { return engine_.now(); }
+
+ private:
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  VirtualSAN san_;
+  LocationTable locations_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace zapc::os

@@ -1,0 +1,39 @@
+// Domain: what a Node needs to know about a hosted namespace (a pod).
+//
+// Implemented by pod::Pod.  Keeping this interface in the os module lets
+// the node scheduler and router work without depending on the pod layer.
+#pragma once
+
+#include <vector>
+
+#include "net/addr.h"
+#include "net/filter.h"
+#include "net/stack.h"
+#include "os/process.h"
+
+namespace zapc::os {
+
+class Domain {
+ public:
+  virtual ~Domain() = default;
+
+  /// The namespace's virtual address (stable across migration).
+  virtual net::IpAddr vip() const = 0;
+  virtual net::Stack& stack() = 0;
+  virtual net::PacketFilter& filter() = 0;
+
+  /// Ingress entry point after the packet filter.  Defaults to the
+  /// socket stack; pods with a kernel-bypass device divert its protocol
+  /// number before the stack sees the packet.
+  virtual void deliver(const net::Packet& p) { stack().deliver(p); }
+
+  virtual Process* find_process(i32 vpid) = 0;
+  virtual std::vector<Process*> processes() = 0;
+
+  /// Runs one program step with this domain's syscall context.
+  virtual StepResult step_process(Process& p) = 0;
+
+  virtual void on_process_exit(Process& p) = 0;
+};
+
+}  // namespace zapc::os

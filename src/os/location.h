@@ -1,0 +1,36 @@
+// Cluster-wide virtual→real address resolution.
+//
+// Paper §3: "ZapC only allows applications in pods to see virtual network
+// addresses which are transparently remapped to underlying real network
+// addresses as a pod migrates among different machines."  The location
+// table holds that remapping; migration rewrites entries, applications
+// keep using the same virtual addresses.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/addr.h"
+
+namespace zapc::os {
+
+class LocationTable {
+ public:
+  /// Maps a virtual (pod) address to the real address of its current node.
+  void set(net::IpAddr vip, net::IpAddr real) { map_[vip] = real; }
+
+  void erase(net::IpAddr vip) { map_.erase(vip); }
+
+  std::optional<net::IpAddr> resolve(net::IpAddr vip) const {
+    auto it = map_.find(vip);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<net::IpAddr, net::IpAddr> map_;
+};
+
+}  // namespace zapc::os

@@ -1,0 +1,251 @@
+#include "os/node.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace zapc::os {
+
+Node::Node(sim::Engine& engine, net::Fabric& fabric, LocationTable& locations,
+           VirtualSAN& san, net::IpAddr real_addr, std::string name,
+           int ncpus)
+    : engine_(engine),
+      fabric_(fabric),
+      locations_(locations),
+      san_(san),
+      real_addr_(real_addr),
+      name_(std::move(name)),
+      cpus_(static_cast<std::size_t>(std::max(1, ncpus))) {
+  host_stack_ =
+      std::make_unique<net::Stack>(engine_, real_addr_, name_ + ":host");
+  host_stack_->set_output([this](net::Packet p) { route_out(std::move(p)); });
+  fabric_.attach(real_addr_,
+                 [this](const net::WirePacket& wp) { deliver(wp); });
+  locations_.set(real_addr_, real_addr_);  // root namespace routes to itself
+}
+
+Node::~Node() {
+  fabric_.detach(real_addr_);
+  locations_.erase(real_addr_);
+}
+
+// ---- Domains ------------------------------------------------------------------
+
+void Node::add_domain(Domain& d) {
+  domains_[d.vip()] = &d;
+  locations_.set(d.vip(), real_addr_);
+}
+
+void Node::remove_domain(net::IpAddr vip) {
+  domains_.erase(vip);
+  // The location entry is only removed if it still points here: during
+  // migration the destination node has usually already claimed it.
+  auto loc = locations_.resolve(vip);
+  if (loc && *loc == real_addr_) locations_.erase(vip);
+}
+
+Domain* Node::find_domain(net::IpAddr vip) {
+  auto it = domains_.find(vip);
+  return it == domains_.end() ? nullptr : it->second;
+}
+
+std::vector<Domain*> Node::domains() {
+  std::vector<Domain*> out;
+  out.reserve(domains_.size());
+  for (auto& [vip, d] : domains_) out.push_back(d);
+  return out;
+}
+
+// ---- Routing ---------------------------------------------------------------------
+
+void Node::deliver(const net::WirePacket& wp) {
+  if (failed_) return;
+  const net::Packet& p = wp.inner;
+  if (p.dst.ip == real_addr_) {
+    if (!host_filter_.pass(p, net::Hook::INGRESS)) return;
+    host_stack_->deliver(p);
+    return;
+  }
+  auto it = domains_.find(p.dst.ip);
+  if (it == domains_.end()) {
+    ZLOG_DEBUG("node " << name_ << ": no domain for " << p.dst.to_string());
+    return;
+  }
+  Domain& d = *it->second;
+  if (!d.filter().pass(p, net::Hook::INGRESS)) return;
+  d.deliver(p);
+}
+
+void Node::route_out(net::Packet p) {
+  if (failed_) return;
+  // Egress filter of the sending namespace.
+  if (p.src.ip == real_addr_) {
+    if (!host_filter_.pass(p, net::Hook::EGRESS)) return;
+  } else {
+    auto it = domains_.find(p.src.ip);
+    if (it != domains_.end() &&
+        !it->second->filter().pass(p, net::Hook::EGRESS)) {
+      return;
+    }
+  }
+  auto real_dst = locations_.resolve(p.dst.ip);
+  if (!real_dst) {
+    ZLOG_DEBUG("node " << name_ << ": unroutable " << p.dst.to_string());
+    return;
+  }
+  fabric_.send(net::WirePacket{real_addr_, *real_dst, std::move(p)});
+}
+
+void Node::fail() {
+  failed_ = true;
+  fabric_.detach(real_addr_);
+}
+
+// ---- Scheduler -------------------------------------------------------------------
+
+Process* Node::resolve(const ProcessRef& ref, Domain** dom_out) {
+  auto it = domains_.find(ref.domain_vip);
+  if (it == domains_.end()) return nullptr;
+  if (dom_out != nullptr) *dom_out = it->second;
+  return it->second->find_process(ref.vpid);
+}
+
+void Node::make_ready(const ProcessRef& ref) {
+  Process* p = resolve(ref, nullptr);
+  if (p == nullptr) return;
+  if (p->state() == ProcState::EXITED || p->state() == ProcState::STOPPED) {
+    return;
+  }
+  if (p->state() == ProcState::ONCPU) {
+    p->set_pending_wake();  // applied when the current step finishes
+    return;
+  }
+  p->set_state(ProcState::READY);
+  p->clear_wait();
+  ready_.push_back(ref);
+  kick();
+}
+
+void Node::kick() {
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    if (!cpus_[i].busy && !ready_.empty()) {
+      cpus_[i].busy = true;
+      engine_.schedule(0, [tok = std::weak_ptr<const bool>(alive_), this,
+                           i] {
+        if (tok.expired()) return;
+        dispatch(static_cast<int>(i));
+      });
+    }
+  }
+}
+
+void Node::dispatch(int cpu) {
+  while (true) {
+    if (ready_.empty()) {
+      cpus_[static_cast<std::size_t>(cpu)].busy = false;
+      return;
+    }
+    ProcessRef ref = ready_.front();
+    ready_.pop_front();
+    Domain* dom = nullptr;
+    Process* p = resolve(ref, &dom);
+    if (p == nullptr || p->state() != ProcState::READY) continue;
+
+    p->set_state(ProcState::ONCPU);
+    StepResult result = dom->step_process(*p);
+    sim::Time cost = std::max<sim::Time>(result.cost, 1);
+    cpu_time_consumed_ += cost;
+    engine_.schedule(cost, [tok = std::weak_ptr<const bool>(alive_), this,
+                            cpu, ref, result = std::move(result)] {
+      if (tok.expired()) return;
+      finish_step(cpu, ref, result);
+    });
+    return;  // CPU is busy until the step's cost elapses
+  }
+}
+
+void Node::finish_step(int cpu, const ProcessRef& ref, StepResult result) {
+  Domain* dom = nullptr;
+  Process* p = resolve(ref, &dom);
+  if (p != nullptr && p->state() == ProcState::EXITED) {
+    p = nullptr;  // killed mid-step; drop the result
+  }
+  if (p != nullptr) {
+    if (result.kind == StepResult::Kind::EXIT) {
+      p->set_state(ProcState::EXITED);
+      p->set_exit_code(result.exit_code);
+      dom->on_process_exit(*p);
+    } else if (p->state() == ProcState::STOPPED) {
+      // SIGSTOP landed mid-step; apply the outcome lazily at SIGCONT as a
+      // plain wakeup (programs tolerate spurious wakeups).
+      p->set_resume_state(ProcState::READY);
+    } else if (result.kind == StepResult::Kind::YIELD) {
+      p->set_state(ProcState::READY);
+      ready_.push_back(ref);
+    } else if (p->take_pending_wake()) {
+      // A wakeup raced with this step; don't lose it.
+      p->set_state(ProcState::READY);
+      ready_.push_back(ref);
+    } else {  // BLOCK
+      block_process(*dom, *p, result.wait);
+    }
+  }
+  dispatch(cpu);
+}
+
+void Node::block_process(Domain& d, Process& p, const WaitSpec& w) {
+  (void)d;
+  p.set_state(ProcState::BLOCKED);
+  p.set_wait(w);
+  if (w.sleep_for.has_value()) {
+    ProcessRef ref{d.vip(), p.vpid()};
+    engine_.schedule(
+        *w.sleep_for, [tok = std::weak_ptr<const bool>(alive_), this, ref] {
+          if (tok.expired()) return;
+          Process* proc = resolve(ref, nullptr);
+          if (proc != nullptr && proc->state() == ProcState::BLOCKED) {
+            make_ready(ref);
+          }
+        });
+  }
+}
+
+void Node::wake_waiters(Domain& d, net::SockId sock) {
+  for (Process* p : d.processes()) {
+    if (p->state() == ProcState::ONCPU) {
+      // The process is mid-step; if that step ends in BLOCK the wait set
+      // is not known yet, so deliver a conservative (possibly spurious)
+      // pending wakeup instead of losing the event.
+      p->set_pending_wake();
+      continue;
+    }
+    if (p->state() != ProcState::BLOCKED) continue;
+    for (int fd : p->wait().fds) {
+      auto s = p->fd_lookup(fd);
+      if (s.is_ok() && s.value() == sock) {
+        make_ready(ProcessRef{d.vip(), p->vpid()});
+        break;
+      }
+    }
+  }
+}
+
+void Node::suspend_process(Domain& d, Process& p) {
+  (void)d;
+  if (p.state() == ProcState::EXITED || p.state() == ProcState::STOPPED) {
+    return;
+  }
+  // Whatever it was doing, a SIGCONT simply makes it runnable again;
+  // programs re-issue blocked syscalls after spurious wakeups.
+  p.set_resume_state(ProcState::READY);
+  p.set_state(ProcState::STOPPED);
+}
+
+void Node::resume_process(Domain& d, Process& p) {
+  if (p.state() != ProcState::STOPPED) return;
+  p.set_state(ProcState::READY);
+  ready_.push_back(ProcessRef{d.vip(), p.vpid()});
+  kick();
+}
+
+}  // namespace zapc::os

@@ -1,0 +1,120 @@
+// Node: one commodity cluster machine — an independent OS instance with a
+// real network address, a host (root) network namespace, a set of hosted
+// pods (Domains), and a CPU scheduler for guest processes.
+//
+// Routing (the virtual-address remapping of paper §3): guest packets are
+// resolved through the cluster LocationTable from virtual destination
+// address to the real address of the hosting node and tunneled over the
+// fabric; on arrival the node finds the local domain for the inner
+// destination.  Both directions pass the owning domain's packet filter,
+// which is how an Agent freezes a pod's network during checkpoint.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/filter.h"
+#include "net/stack.h"
+#include "os/domain.h"
+#include "os/location.h"
+#include "os/process.h"
+#include "os/san.h"
+
+namespace zapc::os {
+
+/// Identifies a process without holding a pointer (domains and processes
+/// may be destroyed while scheduler events are pending).
+struct ProcessRef {
+  net::IpAddr domain_vip;
+  i32 vpid = 0;
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, net::Fabric& fabric, LocationTable& locations,
+       VirtualSAN& san, net::IpAddr real_addr, std::string name,
+       int ncpus = 1);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  net::IpAddr addr() const { return real_addr_; }
+  const std::string& name() const { return name_; }
+  sim::Engine& engine() { return engine_; }
+  sim::Time now() const { return engine_.now(); }
+  LocationTable& locations() { return locations_; }
+  VirtualSAN& san() { return san_; }
+  int ncpus() const { return static_cast<int>(cpus_.size()); }
+
+  /// Host (root) namespace stack — used by Agents and the Manager.
+  net::Stack& host_stack() { return *host_stack_; }
+  net::PacketFilter& host_filter() { return host_filter_; }
+
+  // ---- Domain (pod) hosting ----------------------------------------------
+  void add_domain(Domain& d);
+  void remove_domain(net::IpAddr vip);
+  Domain* find_domain(net::IpAddr vip);
+  std::vector<Domain*> domains();
+
+  // ---- Scheduler -----------------------------------------------------------
+  /// Marks a process runnable and kicks an idle CPU.
+  void make_ready(const ProcessRef& ref);
+
+  /// SIGSTOP: removes the process from scheduling, remembering its state.
+  void suspend_process(Domain& d, Process& p);
+  /// SIGCONT: resumes a STOPPED process (spurious wakeups are fine; a
+  /// formerly blocked program re-issues its syscall and re-blocks).
+  void resume_process(Domain& d, Process& p);
+
+  /// Wakes processes in `d` blocked on socket `sock` or whose deadline
+  /// passed; called from pod socket event hooks.
+  void wake_waiters(Domain& d, net::SockId sock);
+
+  /// Egress from a hosted namespace (or the host stack itself).
+  void route_out(net::Packet p);
+
+  /// Detaches the node from the fabric (models node failure).
+  void fail();
+  bool failed() const { return failed_; }
+
+  /// Total virtual CPU time consumed by guest steps (utilization metrics).
+  sim::Time cpu_time_consumed() const { return cpu_time_consumed_; }
+
+ private:
+  struct Cpu {
+    bool busy = false;
+  };
+
+  void deliver(const net::WirePacket& wp);
+  void kick();
+  void dispatch(int cpu);
+  void finish_step(int cpu, const ProcessRef& ref, StepResult result);
+  Process* resolve(const ProcessRef& ref, Domain** dom_out);
+  void block_process(Domain& d, Process& p, const WaitSpec& w);
+
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  LocationTable& locations_;
+  VirtualSAN& san_;
+  net::IpAddr real_addr_;
+  std::string name_;
+  bool failed_ = false;
+
+  std::unique_ptr<net::Stack> host_stack_;
+  net::PacketFilter host_filter_;
+
+  std::map<net::IpAddr, Domain*> domains_;
+
+  std::vector<Cpu> cpus_;
+  std::deque<ProcessRef> ready_;
+  sim::Time cpu_time_consumed_ = 0;
+
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
+};
+
+}  // namespace zapc::os

@@ -1,0 +1,118 @@
+// Virtual process: a Program plus the kernel-side state the checkpointer
+// saves — fd table, memory regions, application timers, signal state.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/socket.h"
+#include "os/program.h"
+
+namespace zapc::os {
+
+/// Process lifecycle states.  STOPPED corresponds to SIGSTOP (paper §4:
+/// "each Agent first suspends its respective pod by sending a SIGSTOP
+/// signal to all the processes in the pod").
+enum class ProcState : u8 {
+  READY,    // runnable, queued on a CPU
+  ONCPU,    // currently consuming its step's virtual CPU time
+  BLOCKED,  // waiting per WaitSpec
+  STOPPED,  // SIGSTOP'd; invisible to the scheduler
+  EXITED,   // finished; exit_code valid
+};
+
+const char* proc_state_name(ProcState s);
+
+class Process {
+ public:
+  Process(i32 vpid, std::unique_ptr<Program> program)
+      : vpid_(vpid), program_(std::move(program)) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  i32 vpid() const { return vpid_; }
+  Program& program() { return *program_; }
+  const Program& program() const { return *program_; }
+  void replace_program(std::unique_ptr<Program> p) {
+    program_ = std::move(p);
+  }
+
+  ProcState state() const { return state_; }
+  void set_state(ProcState s) { state_ = s; }
+  /// State the process had when SIGSTOP arrived; restored by SIGCONT.
+  ProcState resume_state() const { return resume_state_; }
+  void set_resume_state(ProcState s) { resume_state_ = s; }
+
+  i32 exit_code() const { return exit_code_; }
+  void set_exit_code(i32 c) { exit_code_ = c; }
+
+  const WaitSpec& wait() const { return wait_; }
+  void set_wait(WaitSpec w) { wait_ = std::move(w); }
+  void clear_wait() { wait_ = {}; }
+
+  /// Wakeup that arrived while the process was ONCPU; consumed when the
+  /// step finishes so the wakeup is not lost if the step ends in BLOCK.
+  void set_pending_wake() { pending_wake_ = true; }
+  bool take_pending_wake() {
+    bool w = pending_wake_;
+    pending_wake_ = false;
+    return w;
+  }
+
+  // ---- File descriptors ---------------------------------------------------
+  int fd_install(net::SockId sock) {
+    int fd = next_fd_++;
+    fds_[fd] = sock;
+    return fd;
+  }
+  /// Installs at a specific fd number (restart path).
+  void fd_install_at(int fd, net::SockId sock) {
+    fds_[fd] = sock;
+    if (fd >= next_fd_) next_fd_ = fd + 1;
+  }
+  Result<net::SockId> fd_lookup(int fd) const {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return Status(Err::BAD_FD);
+    return it->second;
+  }
+  void fd_remove(int fd) { fds_.erase(fd); }
+  const std::map<int, net::SockId>& fd_table() const { return fds_; }
+  int next_fd() const { return next_fd_; }
+  void set_next_fd(int fd) { next_fd_ = fd; }
+
+  // ---- Memory regions -------------------------------------------------------
+  Bytes& region(const std::string& name, std::size_t size) {
+    Bytes& r = regions_[name];
+    if (r.size() < size) r.resize(size);
+    return r;
+  }
+  const std::map<std::string, Bytes>& regions() const { return regions_; }
+  std::map<std::string, Bytes>& regions_mut() { return regions_; }
+  std::size_t memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& [name, r] : regions_) n += r.size();
+    return n;
+  }
+
+  // ---- Application timers (absolute virtual expiry) --------------------------
+  std::map<u32, sim::Time>& timers() { return timers_; }
+  const std::map<u32, sim::Time>& timers() const { return timers_; }
+
+ private:
+  i32 vpid_;
+  std::unique_ptr<Program> program_;
+  ProcState state_ = ProcState::READY;
+  ProcState resume_state_ = ProcState::READY;
+  i32 exit_code_ = 0;
+  bool pending_wake_ = false;
+  WaitSpec wait_;
+
+  std::map<int, net::SockId> fds_;
+  int next_fd_ = 3;
+  std::map<std::string, Bytes> regions_;
+  std::map<u32, sim::Time> timers_;
+};
+
+}  // namespace zapc::os

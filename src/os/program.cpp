@@ -1,0 +1,40 @@
+#include "os/program.h"
+
+#include "os/process.h"
+
+namespace zapc::os {
+
+const char* proc_state_name(ProcState s) {
+  switch (s) {
+    case ProcState::READY: return "READY";
+    case ProcState::ONCPU: return "ONCPU";
+    case ProcState::BLOCKED: return "BLOCKED";
+    case ProcState::STOPPED: return "STOPPED";
+    case ProcState::EXITED: return "EXITED";
+  }
+  return "?";
+}
+
+ProgramRegistry& ProgramRegistry::instance() {
+  static ProgramRegistry reg;
+  return reg;
+}
+
+void ProgramRegistry::add(const std::string& kind, Factory f) {
+  factories_[kind] = std::move(f);
+}
+
+Result<std::unique_ptr<Program>> ProgramRegistry::create(
+    const std::string& kind) const {
+  auto it = factories_.find(kind);
+  if (it == factories_.end()) {
+    return Status(Err::NO_ENT, "unknown program kind: " + kind);
+  }
+  return it->second();
+}
+
+bool ProgramRegistry::known(const std::string& kind) const {
+  return factories_.count(kind) != 0;
+}
+
+}  // namespace zapc::os

@@ -1,0 +1,55 @@
+#include "os/san.h"
+
+namespace zapc::os {
+
+void VirtualSAN::write(const std::string& path, Bytes data) {
+  objects_[path] = std::move(data);
+}
+
+void VirtualSAN::append(const std::string& path, const Bytes& data) {
+  Bytes& obj = objects_[path];
+  obj.insert(obj.end(), data.begin(), data.end());
+}
+
+Result<Bytes> VirtualSAN::read(const std::string& path) const {
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return Status(Err::NO_ENT, path);
+  return it->second;
+}
+
+bool VirtualSAN::exists(const std::string& path) const {
+  return objects_.count(path) != 0;
+}
+
+Status VirtualSAN::remove(const std::string& path) {
+  return objects_.erase(path) > 0 ? Status::ok() : Status(Err::NO_ENT, path);
+}
+
+std::vector<std::string> VirtualSAN::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::size_t VirtualSAN::snapshot(const std::string& prefix,
+                                 const std::string& snapshot_prefix) {
+  std::vector<std::pair<std::string, Bytes>> copies;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    copies.emplace_back(snapshot_prefix + it->first.substr(prefix.size()),
+                        it->second);
+  }
+  for (auto& [path, data] : copies) objects_[path] = std::move(data);
+  return copies.size();
+}
+
+std::size_t VirtualSAN::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [path, data] : objects_) n += data.size();
+  return n;
+}
+
+}  // namespace zapc::os

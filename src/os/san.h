@@ -1,0 +1,50 @@
+// Shared storage (SAN/NAS analogue).
+//
+// The paper assumes "a shared storage infrastructure across cluster nodes"
+// (GFS over FibreChannel SAN in the testbed): checkpoint images written by
+// one node are readable from any other.  VirtualSAN models that as a
+// cluster-wide key-value object store with snapshot support (the paper
+// defers file-system state to "already available file system snapshot
+// functionality").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace zapc::os {
+
+class VirtualSAN {
+ public:
+  /// Overwrites the object at `path`.
+  void write(const std::string& path, Bytes data);
+
+  /// Appends to the object at `path`, creating it if missing.
+  void append(const std::string& path, const Bytes& data);
+
+  /// Reads a whole object; Err::NO_ENT if missing.
+  Result<Bytes> read(const std::string& path) const;
+
+  bool exists(const std::string& path) const;
+  Status remove(const std::string& path);
+
+  /// Lists object paths with the given prefix.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Copies every object under `prefix` to `snapshot_prefix` (the
+  /// file-system snapshot taken "immediately prior to reactivating the
+  /// pod" in §4).
+  std::size_t snapshot(const std::string& prefix,
+                       const std::string& snapshot_prefix);
+
+  std::size_t object_count() const { return objects_.size(); }
+  std::size_t total_bytes() const;
+
+ private:
+  std::map<std::string, Bytes> objects_;
+};
+
+}  // namespace zapc::os

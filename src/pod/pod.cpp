@@ -1,0 +1,137 @@
+#include "pod/pod.h"
+
+#include "pod/syscalls.h"
+#include "util/log.h"
+
+namespace zapc::pod {
+
+Pod::Pod(os::Node& host, net::IpAddr vip, std::string name)
+    : host_(host),
+      vip_(vip),
+      name_(std::move(name)),
+      stack_(host.engine(), vip, name_) {
+  stack_.set_output([this](net::Packet p) { host_.route_out(std::move(p)); });
+  stack_.set_event_hook(
+      [this](net::SockId s) { host_.wake_waiters(*this, s); });
+  host_.add_domain(*this);
+  ZLOG_INFO("pod " << name_ << " created on " << host_.name() << " (vip "
+                   << vip_.to_string() << ")");
+}
+
+Pod::~Pod() { host_.remove_domain(vip_); }
+
+os::Process* Pod::find_process(i32 vpid) {
+  auto it = procs_.find(vpid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<os::Process*> Pod::processes() {
+  std::vector<os::Process*> out;
+  out.reserve(procs_.size());
+  for (auto& [vpid, p] : procs_) out.push_back(p.get());
+  return out;
+}
+
+os::StepResult Pod::step_process(os::Process& p) {
+  syscall_count_ = 0;
+  PodSyscalls sys(*this, p);
+  os::StepResult r = p.program().step(sys);
+  // Charge the interposition overhead of this step's system calls.
+  total_syscalls_ += syscall_count_;
+  r.cost += syscall_count_ * syscall_overhead_ns_ / 1000;
+  return r;
+}
+
+void Pod::on_process_exit(os::Process& p) {
+  ZLOG_DEBUG("pod " << name_ << ": vpid " << p.vpid() << " exited with "
+                    << p.exit_code());
+  // Kernel semantics: a process's descriptors are closed at exit.
+  std::vector<int> fds;
+  for (const auto& [fd, sid] : p.fd_table()) fds.push_back(fd);
+  for (int fd : fds) {
+    auto sid = p.fd_lookup(fd);
+    if (sid.is_ok()) (void)stack_.sys_close(sid.value());
+    p.fd_remove(fd);
+  }
+}
+
+i32 Pod::spawn(std::unique_ptr<os::Program> program) {
+  i32 vpid = next_vpid_++;
+  auto proc = std::make_unique<os::Process>(vpid, std::move(program));
+  os::Process& ref = *proc;
+  procs_.emplace(vpid, std::move(proc));
+  ref.set_state(os::ProcState::BLOCKED);  // make_ready switches it to READY
+  host_.make_ready(os::ProcessRef{vip_, vpid});
+  return vpid;
+}
+
+os::Process& Pod::spawn_stopped(i32 vpid,
+                                std::unique_ptr<os::Program> program) {
+  auto proc = std::make_unique<os::Process>(vpid, std::move(program));
+  os::Process& ref = *proc;
+  ref.set_state(os::ProcState::STOPPED);
+  ref.set_resume_state(os::ProcState::READY);
+  procs_[vpid] = std::move(proc);
+  if (vpid >= next_vpid_) next_vpid_ = vpid + 1;
+  return ref;
+}
+
+void Pod::deliver(const net::Packet& p) {
+  if (gm_ != nullptr && p.proto == net::Proto::RAW &&
+      p.raw_proto == gm::kGmProto) {
+    gm_->handle_packet(p);  // OS-bypass path: never touches the stack
+    return;
+  }
+  stack_.deliver(p);
+}
+
+gm::GmDevice& Pod::gm_device() {
+  if (gm_ == nullptr) {
+    gm_ = std::make_unique<gm::GmDevice>(
+        host_.engine(), vip_,
+        [this](net::Packet p) { host_.route_out(std::move(p)); });
+  }
+  return *gm_;
+}
+
+Status Pod::kill(i32 vpid) {
+  os::Process* p = find_process(vpid);
+  if (p == nullptr) return Status(Err::NO_ENT, "no such vpid");
+  if (p->state() == os::ProcState::EXITED) return Status::ok();
+  p->set_state(os::ProcState::EXITED);
+  p->set_exit_code(137);  // SIGKILL convention
+  on_process_exit(*p);    // closes its descriptors
+  return Status::ok();
+}
+
+void Pod::suspend() {
+  for (auto& [vpid, p] : procs_) host_.suspend_process(*this, *p);
+  suspended_ = true;
+}
+
+void Pod::resume() {
+  suspended_ = false;
+  for (auto& [vpid, p] : procs_) host_.resume_process(*this, *p);
+}
+
+bool Pod::all_exited() const {
+  for (const auto& [vpid, p] : procs_) {
+    if (p->state() != os::ProcState::EXITED) return false;
+  }
+  return true;
+}
+
+std::size_t Pod::memory_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [vpid, p] : procs_) n += p->memory_bytes();
+  return n;
+}
+
+sim::Time Pod::virtual_now() const {
+  sim::Time now = host_.engine().now();
+  if (!time_virt_) return now;
+  i64 biased = static_cast<i64>(now) + time_delta_;
+  return biased < 0 ? 0 : static_cast<sim::Time>(biased);
+}
+
+}  // namespace zapc::pod

@@ -1,0 +1,125 @@
+// Pod (PrOcess Domain): Zap's virtual-machine abstraction (paper §3).
+//
+// "Each pod has its own virtual private namespace, which provides the only
+// means for processes to access the underlying operating system."  Here a
+// pod bundles:
+//   * a virtual PID namespace (vpids start at 1 and stay constant across
+//     migration),
+//   * a private network namespace — its own Stack bound to the pod's
+//     virtual address, plus the packet filter an Agent uses to freeze it,
+//   * the syscall-interposition layer (PodSyscalls) through which guest
+//     programs reach the OS,
+//   * optional time virtualization: after a restart, reported time and
+//     application timers are biased by the checkpoint→restart delta
+//     (paper §5).
+//
+// A pod never moves live: migration checkpoints it, destroys it, and
+// recreates it (possibly on another node) from the image.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "gm/device.h"
+#include "net/filter.h"
+#include "net/stack.h"
+#include "os/domain.h"
+#include "os/node.h"
+#include "os/process.h"
+
+namespace zapc::pod {
+
+class Pod final : public os::Domain {
+ public:
+  Pod(os::Node& host, net::IpAddr vip, std::string name);
+  ~Pod() override;
+
+  Pod(const Pod&) = delete;
+  Pod& operator=(const Pod&) = delete;
+
+  const std::string& name() const { return name_; }
+  os::Node& host() { return host_; }
+  const os::Node& host() const { return host_; }
+  /// Unbiased engine time (kernel view; guests see virtual_now()).
+  sim::Time engine_now() const { return host_.now(); }
+
+  // ---- os::Domain ---------------------------------------------------------
+  net::IpAddr vip() const override { return vip_; }
+  net::Stack& stack() override { return stack_; }
+  net::PacketFilter& filter() override { return filter_; }
+  os::Process* find_process(i32 vpid) override;
+  std::vector<os::Process*> processes() override;
+  os::StepResult step_process(os::Process& p) override;
+  void on_process_exit(os::Process& p) override;
+  void deliver(const net::Packet& p) override;
+
+  // ---- Kernel-bypass (GM) device -------------------------------------------
+  /// The pod's GM device, created on first use (guests reach it only via
+  /// the virtualized gm_* syscalls; paper §5 extension).
+  gm::GmDevice& gm_device();
+  gm::GmDevice* gm_device_if_present() { return gm_.get(); }
+
+  // ---- Process lifecycle ----------------------------------------------------
+  /// Creates a process with the next free vpid and makes it runnable.
+  i32 spawn(std::unique_ptr<os::Program> program);
+
+  /// Creates a process with an explicit vpid in STOPPED state (restart
+  /// path: the whole pod resumes together once restore completes).
+  os::Process& spawn_stopped(i32 vpid, std::unique_ptr<os::Program> program);
+
+  /// Forcibly terminates a process (SIGKILL semantics): descriptors are
+  /// closed and the exit status is 137.
+  Status kill(i32 vpid);
+
+  /// SIGSTOP every process (paper §4 step 1).
+  void suspend();
+  /// SIGCONT every process (snapshot-resume or end of restart).
+  void resume();
+  bool suspended() const { return suspended_; }
+
+  bool all_exited() const;
+  std::size_t process_count() const { return procs_.size(); }
+  i32 next_vpid() const { return next_vpid_; }
+  void set_next_vpid(i32 v) { next_vpid_ = v; }
+
+  /// Sum of all process memory regions (checkpoint-size accounting).
+  std::size_t memory_bytes() const;
+
+  // ---- Virtualization overhead accounting (paper §6.1) ----------------------
+  /// Zap interposes on system calls; each call costs a little kernel-module
+  /// work.  The Fig. 5 bench compares this against zero overhead ("Base").
+  void set_syscall_overhead_ns(u64 ns) { syscall_overhead_ns_ = ns; }
+  u64 syscall_overhead_ns() const { return syscall_overhead_ns_; }
+  void note_syscall() { ++syscall_count_; }
+  u64 total_syscalls() const { return total_syscalls_; }
+
+  // ---- Time virtualization (paper §5) ---------------------------------------
+  void set_time_virtualization(bool on) { time_virt_ = on; }
+  bool time_virtualization() const { return time_virt_; }
+  /// Bias added to every time() the pod's processes observe.
+  void add_time_delta(i64 d) { time_delta_ += d; }
+  i64 time_delta() const { return time_delta_; }
+  /// Time as seen inside the pod.
+  sim::Time virtual_now() const;
+
+ private:
+  os::Node& host_;
+  net::IpAddr vip_;
+  std::string name_;
+  net::Stack stack_;
+  net::PacketFilter filter_;
+
+  std::map<i32, std::unique_ptr<os::Process>> procs_;
+  i32 next_vpid_ = 1;
+  bool suspended_ = false;
+  std::unique_ptr<gm::GmDevice> gm_;
+
+  bool time_virt_ = true;
+  i64 time_delta_ = 0;
+  u64 syscall_overhead_ns_ = 300;
+  u64 syscall_count_ = 0;   // within the current step
+  u64 total_syscalls_ = 0;
+};
+
+}  // namespace zapc::pod

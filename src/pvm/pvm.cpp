@@ -1,0 +1,210 @@
+#include "pvm/pvm.h"
+
+namespace zapc::pvm {
+namespace {
+
+enum : u32 {
+  kTagHello = 0x20000001,
+  kTagTask = 0x20000002,
+  kTagResult = 0x20000003,
+};
+
+}  // namespace
+
+// ---- Master ---------------------------------------------------------------------
+
+bool PvmMaster::try_init(os::Syscalls& sys) {
+  if (!listener_ready_) {
+    if (listen_fd_ < 0) {
+      auto fd = sys.socket(net::Proto::TCP);
+      if (!fd) return false;
+      listen_fd_ = fd.value();
+      (void)sys.setsockopt(listen_fd_, net::SockOpt::SO_REUSEADDR, 1);
+    }
+    if (!sys.bind(listen_fd_, net::SockAddr{net::kAnyAddr, port_})) {
+      return false;
+    }
+    if (!sys.listen(listen_fd_, expected_ + 4)) return false;
+    listener_ready_ = true;
+  }
+  while (static_cast<i32>(workers_.size()) < expected_) {
+    auto child = sys.accept(listen_fd_, nullptr);
+    if (!child) break;
+    Slot s;
+    s.io = mpi::MsgIo(child.value());
+    workers_.push_back(std::move(s));
+  }
+  progress(sys);
+  return static_cast<i32>(workers_.size()) >= expected_;
+}
+
+i32 PvmMaster::workers_joined() const {
+  return static_cast<i32>(workers_.size());
+}
+
+void PvmMaster::progress(os::Syscalls& sys) {
+  for (Slot& s : workers_) {
+    if (s.io.fd() < 0) continue;
+    (void)s.io.progress(sys);
+
+    // Collect results.
+    while (auto m = s.io.pop_tag(kTagResult)) {
+      Decoder d(m->data);
+      TaskResult r;
+      r.id = d.u32_().value_or(0);
+      r.payload = d.bytes_().value_or({});
+      results_.push_back(std::move(r));
+      if (s.busy && s.task_id == results_.back().id) {
+        s.busy = false;
+        if (outstanding_ > 0) --outstanding_;
+      }
+    }
+
+    // Assign work to idle workers.
+    if (!s.busy && !backlog_.empty() && !s.io.failed()) {
+      Task t = std::move(backlog_.front());
+      backlog_.pop_front();
+      Encoder e;
+      e.put_u32(t.id);
+      e.put_bytes(t.payload);
+      s.io.send(kTagTask, e.take());
+      (void)s.io.progress(sys);
+      s.busy = true;
+      s.task_id = t.id;
+      ++outstanding_;
+    }
+  }
+}
+
+std::optional<TaskResult> PvmMaster::pop_result() {
+  if (results_.empty()) return std::nullopt;
+  TaskResult r = std::move(results_.front());
+  results_.pop_front();
+  return r;
+}
+
+std::vector<int> PvmMaster::wait_fds() const {
+  std::vector<int> fds;
+  if (listen_fd_ >= 0) fds.push_back(listen_fd_);
+  for (const Slot& s : workers_) {
+    if (s.io.fd() >= 0) fds.push_back(s.io.fd());
+  }
+  return fds;
+}
+
+bool PvmMaster::failed() const {
+  for (const Slot& s : workers_) {
+    if (s.io.failed()) return true;
+  }
+  return false;
+}
+
+void PvmMaster::save(Encoder& e) const {
+  e.put_u16(port_);
+  e.put_i32(expected_);
+  e.put_i32(listen_fd_);
+  e.put_bool(listener_ready_);
+  e.put_u32(static_cast<u32>(workers_.size()));
+  for (const Slot& s : workers_) {
+    s.io.save(e);
+    e.put_bool(s.busy);
+    e.put_u32(s.task_id);
+  }
+  e.put_u32(static_cast<u32>(backlog_.size()));
+  for (const Task& t : backlog_) {
+    e.put_u32(t.id);
+    e.put_bytes(t.payload);
+  }
+  e.put_u32(static_cast<u32>(results_.size()));
+  for (const TaskResult& r : results_) {
+    e.put_u32(r.id);
+    e.put_bytes(r.payload);
+  }
+  e.put_u32(outstanding_);
+}
+
+void PvmMaster::load(Decoder& d) {
+  port_ = d.u16_().value_or(0);
+  expected_ = d.i32_().value_or(0);
+  listen_fd_ = d.i32_().value_or(-1);
+  listener_ready_ = d.bool_().value_or(false);
+  u32 nw = d.u32_().value_or(0);
+  workers_.clear();
+  for (u32 i = 0; i < nw; ++i) {
+    Slot s;
+    s.io.load(d);
+    s.busy = d.bool_().value_or(false);
+    s.task_id = d.u32_().value_or(0);
+    workers_.push_back(std::move(s));
+  }
+  backlog_.clear();
+  u32 nb = d.u32_().value_or(0);
+  for (u32 i = 0; i < nb; ++i) {
+    Task t;
+    t.id = d.u32_().value_or(0);
+    t.payload = d.bytes_().value_or({});
+    backlog_.push_back(std::move(t));
+  }
+  results_.clear();
+  u32 nr = d.u32_().value_or(0);
+  for (u32 i = 0; i < nr; ++i) {
+    TaskResult r;
+    r.id = d.u32_().value_or(0);
+    r.payload = d.bytes_().value_or({});
+    results_.push_back(std::move(r));
+  }
+  outstanding_ = d.u32_().value_or(0);
+}
+
+// ---- Worker ---------------------------------------------------------------------
+
+bool PvmWorker::try_init(os::Syscalls& sys) {
+  if (connected_) return true;
+  if (io_.fd() < 0 || io_.failed()) {
+    if (io_.fd() >= 0) (void)sys.close(io_.fd());
+    auto fd = sys.socket(net::Proto::TCP);
+    if (!fd) return false;
+    Status st = sys.connect(fd.value(), master_);
+    if (!st.is_ok() && st.err() != Err::IN_PROGRESS) return false;
+    io_ = mpi::MsgIo(fd.value());
+    io_.send(kTagHello, {});
+  }
+  (void)io_.progress(sys);
+  if (io_.flushed() && !io_.failed()) connected_ = true;
+  return connected_;
+}
+
+std::optional<Task> PvmWorker::try_get_task(os::Syscalls& sys) {
+  (void)io_.progress(sys);
+  auto m = io_.pop_tag(kTagTask);
+  if (!m) return std::nullopt;
+  Decoder d(m->data);
+  Task t;
+  t.id = d.u32_().value_or(0);
+  t.payload = d.bytes_().value_or({});
+  return t;
+}
+
+void PvmWorker::post_result(os::Syscalls& sys, const TaskResult& r) {
+  Encoder e;
+  e.put_u32(r.id);
+  e.put_bytes(r.payload);
+  io_.send(kTagResult, e.take());
+  (void)io_.progress(sys);
+}
+
+void PvmWorker::save(Encoder& e) const {
+  e.put_u32(master_.ip.v);
+  e.put_u16(master_.port);
+  io_.save(e);
+  e.put_bool(connected_);
+}
+
+void PvmWorker::load(Decoder& d) {
+  master_.ip.v = d.u32_().value_or(0);
+  master_.port = d.u16_().value_or(0);
+  io_.load(d);
+  connected_ = d.bool_().value_or(false);
+}
+
+}  // namespace zapc::pvm

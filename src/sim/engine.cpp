@@ -1,0 +1,62 @@
+#include "sim/engine.h"
+
+namespace zapc::sim {
+
+EventId Engine::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  EventId id = next_id_++;
+  queue_.push(Item{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    auto cit = cancelled_.find(item.id);
+    if (cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      continue;
+    }
+    auto hit = handlers_.find(item.id);
+    if (hit == handlers_.end()) continue;  // defensive; shouldn't happen
+    std::function<void()> fn = std::move(hit->second);
+    handlers_.erase(hit);
+    now_ = item.time;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(Time t) {
+  while (!queue_.empty()) {
+    // Peek past cancelled entries.
+    Item item = queue_.top();
+    if (cancelled_.count(item.id)) {
+      queue_.pop();
+      cancelled_.erase(item.id);
+      continue;
+    }
+    if (item.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+u64 Engine::run(u64 max_events) {
+  u64 n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace zapc::sim

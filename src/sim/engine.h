@@ -1,0 +1,85 @@
+// Discrete-event simulation engine.
+//
+// Everything in the reproduction — node schedulers, packet delivery,
+// TCP retransmission timers, the Manager/Agent protocol — runs as events
+// on a single virtual clock, making the whole cluster deterministic.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.h"
+
+namespace zapc::sim {
+
+/// Virtual time in microseconds since simulation start.
+using Time = u64;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+/// Handle for cancelling a scheduled event.
+using EventId = u64;
+
+/// A single-clock event queue.  Events scheduled for the same time run in
+/// FIFO order of scheduling, which keeps runs reproducible.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventId schedule(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute time (clamped to now).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// Runs the next pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(Time t);
+
+  /// Runs until no events remain or `max_events` have executed.
+  /// Returns the number of events executed.
+  u64 run(u64 max_events = ~0ull);
+
+  /// Number of pending (uncancelled) events.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  bool idle() const { return pending() == 0; }
+
+ private:
+  struct Item {
+    Time time;
+    u64 seq;
+    EventId id;
+    // Ordered for a min-heap (std::priority_queue is a max-heap).
+    bool operator<(const Item& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  u64 next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Item> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace zapc::sim

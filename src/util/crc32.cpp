@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace zapc {
+namespace {
+
+std::array<u32, 256> make_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+u32 crc32_init() { return 0xFFFFFFFFu; }
+
+u32 crc32_update(u32 state, const u8* p, std::size_t n) {
+  static const std::array<u32, 256> table = make_table();
+  for (std::size_t i = 0; i < n; ++i) {
+    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+u32 crc32_final(u32 state) { return state ^ 0xFFFFFFFFu; }
+
+u32 crc32(const u8* p, std::size_t n) {
+  return crc32_final(crc32_update(crc32_init(), p, n));
+}
+
+}  // namespace zapc

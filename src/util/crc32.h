@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial) used to validate checkpoint image records.
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.h"
+
+namespace zapc {
+
+/// Computes CRC-32 over `n` bytes starting at `p`.
+u32 crc32(const u8* p, std::size_t n);
+
+/// Computes CRC-32 over a byte buffer.
+inline u32 crc32(const Bytes& b) { return crc32(b.data(), b.size()); }
+
+/// Incremental interface: start with crc32_init(), fold in chunks with
+/// crc32_update(), close with crc32_final().
+u32 crc32_init();
+u32 crc32_update(u32 state, const u8* p, std::size_t n);
+u32 crc32_final(u32 state);
+
+}  // namespace zapc

@@ -1,0 +1,30 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace zapc {
+namespace {
+
+LogLevel g_level = LogLevel::WARN;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::DEBUG: return "DEBUG";
+    case LogLevel::INFO: return "INFO";
+    case LogLevel::WARN: return "WARN";
+    case LogLevel::ERROR: return "ERROR";
+    case LogLevel::OFF: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace zapc

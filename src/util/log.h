@@ -1,0 +1,34 @@
+// Minimal leveled logging.  Disabled (WARN level) by default so tests and
+// benches stay quiet; examples turn on INFO to narrate the protocol.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace zapc {
+
+enum class LogLevel { DEBUG = 0, INFO = 1, WARN = 2, ERROR = 3, OFF = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one log line to stderr (already newline-terminated by the macro).
+void log_line(LogLevel level, const std::string& msg);
+
+#define ZAPC_LOG(level, expr)                                   \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::zapc::log_level())) {                \
+      std::ostringstream zapc_log_os_;                          \
+      zapc_log_os_ << expr;                                     \
+      ::zapc::log_line(level, zapc_log_os_.str());              \
+    }                                                           \
+  } while (0)
+
+#define ZLOG_DEBUG(expr) ZAPC_LOG(::zapc::LogLevel::DEBUG, expr)
+#define ZLOG_INFO(expr) ZAPC_LOG(::zapc::LogLevel::INFO, expr)
+#define ZLOG_WARN(expr) ZAPC_LOG(::zapc::LogLevel::WARN, expr)
+#define ZLOG_ERROR(expr) ZAPC_LOG(::zapc::LogLevel::ERROR, expr)
+
+}  // namespace zapc

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation (SplitMix64).
+//
+// All stochastic behaviour in the simulation (packet loss, jitter, workload
+// partitioning) draws from explicitly seeded Rng instances so every test
+// and benchmark is reproducible.
+#pragma once
+
+#include "util/types.h"
+
+namespace zapc {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  /// Next 64 random bits.
+  u64 next_u64() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 below(u64 bound) { return next_u64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace zapc

@@ -1,0 +1,49 @@
+#include "util/serialize.h"
+
+namespace zapc {
+
+void RecordWriter::write(RecordTag tag, u16 version, const Bytes& payload) {
+  buf_.put_u32(static_cast<u32>(tag));
+  buf_.put_u16(version);
+  buf_.put_u64(payload.size());
+  buf_.put_raw(payload.data(), payload.size());
+  buf_.put_u32(record_crc(tag, version, payload));
+}
+
+u32 record_crc(RecordTag tag, u16 version, const Bytes& payload) {
+  // The CRC covers the header fields too, so a bit flip anywhere in a
+  // record is caught (the length is covered implicitly: a wrong length
+  // misframes the payload).
+  Encoder head;
+  head.put_u32(static_cast<u32>(tag));
+  head.put_u16(version);
+  u32 c = crc32_init();
+  c = crc32_update(c, head.bytes().data(), head.bytes().size());
+  c = crc32_update(c, payload.data(), payload.size());
+  return crc32_final(c);
+}
+
+Result<Record> RecordReader::next() {
+  if (dec_.at_end()) return Status(Err::NO_ENT, "end of image");
+  auto tag = dec_.u32_();
+  if (!tag) return Status(Err::PROTO, "truncated record tag");
+  auto version = dec_.u16_();
+  if (!version) return Status(Err::PROTO, "truncated record version");
+  auto len = dec_.u64_();
+  if (!len) return Status(Err::PROTO, "truncated record length");
+  auto payload = dec_.raw(static_cast<std::size_t>(len.value()));
+  if (!payload) return Status(Err::PROTO, "truncated record payload");
+  auto crc = dec_.u32_();
+  if (!crc) return Status(Err::PROTO, "truncated record crc");
+  if (crc.value() != record_crc(static_cast<RecordTag>(tag.value()),
+                                version.value(), payload.value())) {
+    return Status(Err::PROTO, "record crc mismatch");
+  }
+  Record r;
+  r.tag = static_cast<RecordTag>(tag.value());
+  r.version = version.value();
+  r.payload = std::move(payload).value();
+  return r;
+}
+
+}  // namespace zapc

@@ -1,0 +1,44 @@
+#include "util/status.h"
+
+namespace zapc {
+
+const char* err_name(Err e) {
+  switch (e) {
+    case Err::OK: return "OK";
+    case Err::WOULD_BLOCK: return "WOULD_BLOCK";
+    case Err::INVALID: return "INVALID";
+    case Err::BAD_FD: return "BAD_FD";
+    case Err::NOT_CONNECTED: return "NOT_CONNECTED";
+    case Err::ALREADY_CONNECTED: return "ALREADY_CONNECTED";
+    case Err::CONN_REFUSED: return "CONN_REFUSED";
+    case Err::CONN_RESET: return "CONN_RESET";
+    case Err::ADDR_IN_USE: return "ADDR_IN_USE";
+    case Err::ADDR_UNREACH: return "ADDR_UNREACH";
+    case Err::TIMED_OUT: return "TIMED_OUT";
+    case Err::PIPE: return "PIPE";
+    case Err::IN_PROGRESS: return "IN_PROGRESS";
+    case Err::NO_ENT: return "NO_ENT";
+    case Err::EXISTS: return "EXISTS";
+    case Err::PERM: return "PERM";
+    case Err::INTR: return "INTR";
+    case Err::MSG_SIZE: return "MSG_SIZE";
+    case Err::NO_BUFS: return "NO_BUFS";
+    case Err::NOT_SUPPORTED: return "NOT_SUPPORTED";
+    case Err::PROTO: return "PROTO";
+    case Err::ABORTED: return "ABORTED";
+    case Err::IO: return "IO";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string s = err_name(err_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace zapc

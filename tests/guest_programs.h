@@ -1,0 +1,286 @@
+// Small guest programs used by OS/pod/checkpoint tests.
+#pragma once
+
+#include "net/addr.h"
+#include "os/program.h"
+#include "os/san.h"
+#include "util/types.h"
+
+namespace zapc::test {
+
+/// Counts to a target, spending `step_cost` virtual CPU time per tick.
+class CounterProgram final : public os::Program {
+ public:
+  CounterProgram() = default;
+  CounterProgram(u32 target, sim::Time step_cost)
+      : target_(target), step_cost_(step_cost) {}
+
+  const char* kind() const override { return "test.counter"; }
+
+  os::StepResult step(os::Syscalls& sys) override {
+    (void)sys;
+    if (count_ >= target_) return os::StepResult::exit(0);
+    ++count_;
+    return os::StepResult::yield(step_cost_);
+  }
+
+  void save(Encoder& e) const override {
+    e.put_u32(target_);
+    e.put_u32(count_);
+    e.put_u64(step_cost_);
+  }
+  void load(Decoder& d) override {
+    target_ = d.u32_().value_or(0);
+    count_ = d.u32_().value_or(0);
+    step_cost_ = d.u64_().value_or(1);
+  }
+
+  u32 count() const { return count_; }
+
+ private:
+  u32 target_ = 0;
+  sim::Time step_cost_ = 1;
+  u32 count_ = 0;
+};
+
+/// TCP echo server: accepts one connection and echoes until EOF.
+class EchoServer final : public os::Program {
+ public:
+  EchoServer() = default;
+  explicit EchoServer(u16 port) : port_(port) {}
+
+  const char* kind() const override { return "test.echo_server"; }
+
+  os::StepResult step(os::Syscalls& sys) override {
+    using os::StepResult;
+    switch (pc_) {
+      case 0: {  // create/bind/listen
+        sys.region("workspace", 4 << 20);  // typical app address space
+        auto fd = sys.socket(net::Proto::TCP);
+        if (!fd) return StepResult::exit(1);
+        lfd_ = fd.value();
+        if (!sys.bind(lfd_, net::SockAddr{net::kAnyAddr, port_})) {
+          return StepResult::exit(1);
+        }
+        if (!sys.listen(lfd_, 4)) return StepResult::exit(1);
+        pc_ = 1;
+        return StepResult::yield();
+      }
+      case 1: {  // accept
+        auto c = sys.accept(lfd_, nullptr);
+        if (!c) {
+          if (c.err() == Err::WOULD_BLOCK) {
+            return StepResult::block(os::WaitSpec::on_fd(lfd_));
+          }
+          return StepResult::exit(1);
+        }
+        cfd_ = c.value();
+        pc_ = 2;
+        return StepResult::yield();
+      }
+      case 2: {  // echo loop
+        auto r = sys.recv(cfd_, 4096, 0);
+        if (!r) {
+          if (r.err() == Err::WOULD_BLOCK) {
+            return StepResult::block(os::WaitSpec::on_fd(cfd_));
+          }
+          return StepResult::exit(1);
+        }
+        if (r.value().eof) {
+          (void)sys.close(cfd_);
+          (void)sys.close(lfd_);
+          return StepResult::exit(0);
+        }
+        echoed_ += static_cast<u32>(r.value().data.size());
+        pending_ = std::move(r.value().data);
+        pc_ = 3;
+        return StepResult::yield();
+      }
+      case 3: {  // flush pending echo
+        if (pending_.empty()) {
+          pc_ = 2;
+          return StepResult::yield();
+        }
+        auto w = sys.send(cfd_, pending_, 0);
+        if (!w) {
+          if (w.err() == Err::WOULD_BLOCK) {
+            return StepResult::block(os::WaitSpec::on_fd(cfd_));
+          }
+          return StepResult::exit(1);
+        }
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + static_cast<long>(w.value()));
+        return StepResult::yield();
+      }
+      default:
+        return StepResult::exit(2);
+    }
+  }
+
+  void save(Encoder& e) const override {
+    e.put_u16(port_);
+    e.put_u32(pc_);
+    e.put_i32(lfd_);
+    e.put_i32(cfd_);
+    e.put_u32(echoed_);
+    e.put_bytes(pending_);
+  }
+  void load(Decoder& d) override {
+    port_ = d.u16_().value_or(0);
+    pc_ = d.u32_().value_or(0);
+    lfd_ = d.i32_().value_or(-1);
+    cfd_ = d.i32_().value_or(-1);
+    echoed_ = d.u32_().value_or(0);
+    pending_ = d.bytes_().value_or({});
+  }
+
+  u32 echoed() const { return echoed_; }
+
+ private:
+  u16 port_ = 0;
+  u32 pc_ = 0;
+  i32 lfd_ = -1;
+  i32 cfd_ = -1;
+  u32 echoed_ = 0;
+  Bytes pending_;
+};
+
+/// TCP echo client: connects, sends `total` patterned bytes, reads them
+/// back, verifies, exits 0 on success.
+class EchoClient final : public os::Program {
+ public:
+  EchoClient() = default;
+  EchoClient(net::SockAddr server, u32 total)
+      : server_(server), total_(total) {}
+
+  const char* kind() const override { return "test.echo_client"; }
+
+  static u8 byte_at(u32 i) { return static_cast<u8>((i * 131 + 17) & 0xFF); }
+
+  os::StepResult step(os::Syscalls& sys) override {
+    using os::StepResult;
+    switch (pc_) {
+      case 0: {  // connect
+        sys.region("workspace", 4 << 20);  // typical app address space
+        auto fd = sys.socket(net::Proto::TCP);
+        if (!fd) return StepResult::exit(1);
+        fd_ = fd.value();
+        Status st = sys.connect(fd_, server_);
+        if (!st.is_ok() && st.err() != Err::IN_PROGRESS) {
+          return StepResult::exit(1);
+        }
+        pc_ = 1;
+        return StepResult::yield();
+      }
+      case 1: {  // wait for establishment
+        u32 ev = sys.poll(fd_);
+        if ((ev & net::POLLERR) != 0) return StepResult::exit(1);
+        if ((ev & net::POLLOUT) == 0) {
+          return StepResult::block(os::WaitSpec::on_fd(fd_));
+        }
+        pc_ = 2;
+        return StepResult::yield();
+      }
+      case 2: {  // send + receive until done
+        if (sent_ < total_) {
+          u32 n = std::min<u32>(total_ - sent_, 2048);
+          Bytes chunk(n);
+          for (u32 i = 0; i < n; ++i) chunk[i] = byte_at(sent_ + i);
+          auto w = sys.send(fd_, chunk, 0);
+          if (w.is_ok()) sent_ += static_cast<u32>(w.value());
+        }
+        auto r = sys.recv(fd_, 4096, 0);
+        if (r.is_ok() && !r.value().eof) {
+          for (u8 b : r.value().data) {
+            if (b != byte_at(rcvd_)) return StepResult::exit(3);
+            ++rcvd_;
+          }
+        }
+        if (rcvd_ == total_) {
+          (void)sys.close(fd_);
+          return StepResult::exit(0);
+        }
+        if (r.err() == Err::WOULD_BLOCK && sent_ == total_) {
+          return StepResult::block(os::WaitSpec::on_fd(fd_));
+        }
+        return StepResult::yield(5);
+      }
+      default:
+        return StepResult::exit(2);
+    }
+  }
+
+  void save(Encoder& e) const override {
+    e.put_u32(server_.ip.v);
+    e.put_u16(server_.port);
+    e.put_u32(total_);
+    e.put_u32(pc_);
+    e.put_i32(fd_);
+    e.put_u32(sent_);
+    e.put_u32(rcvd_);
+  }
+  void load(Decoder& d) override {
+    server_.ip.v = d.u32_().value_or(0);
+    server_.port = d.u16_().value_or(0);
+    total_ = d.u32_().value_or(0);
+    pc_ = d.u32_().value_or(0);
+    fd_ = d.i32_().value_or(-1);
+    sent_ = d.u32_().value_or(0);
+    rcvd_ = d.u32_().value_or(0);
+  }
+
+  u32 received() const { return rcvd_; }
+
+ private:
+  net::SockAddr server_;
+  u32 total_ = 0;
+  u32 pc_ = 0;
+  i32 fd_ = -1;
+  u32 sent_ = 0;
+  u32 rcvd_ = 0;
+};
+
+/// Writes a timestamped note to the SAN, sleeps, and records the observed
+/// (virtualized) elapsed time in a memory region.
+class TimeLogger final : public os::Program {
+ public:
+  const char* kind() const override { return "test.time_logger"; }
+
+  os::StepResult step(os::Syscalls& sys) override {
+    using os::StepResult;
+    Bytes& reg = sys.region("log", 64);
+    switch (pc_) {
+      case 0: {
+        start_ = sys.time();
+        pc_ = 1;
+        return StepResult::block(os::WaitSpec::sleep(1000));
+      }
+      case 1: {
+        sim::Time elapsed = sys.time() - start_;
+        Encoder e;
+        e.put_u64(start_);
+        e.put_u64(elapsed);
+        std::copy(e.bytes().begin(), e.bytes().end(), reg.begin());
+        sys.san().write("timelog", e.bytes());
+        return StepResult::exit(0);
+      }
+      default:
+        return StepResult::exit(2);
+    }
+  }
+
+  void save(Encoder& e) const override {
+    e.put_u32(pc_);
+    e.put_u64(start_);
+  }
+  void load(Decoder& d) override {
+    pc_ = d.u32_().value_or(0);
+    start_ = d.u64_().value_or(0);
+  }
+
+ private:
+  u32 pc_ = 0;
+  sim::Time start_ = 0;
+};
+
+}  // namespace zapc::test

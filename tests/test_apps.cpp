@@ -1,0 +1,353 @@
+// Application workload tests: the four paper benchmarks complete
+// correctly, and — the core end-to-end property — survive coordinated
+// checkpoint-restart (including migration) mid-execution with correct
+// final results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/bratu.h"
+#include "apps/bt.h"
+#include "apps/cpi.h"
+#include "apps/launcher.h"
+#include "apps/ray.h"
+#include "apps/ray_scene.h"
+#include "core/agent.h"
+#include "core/manager.h"
+#include "os/cluster.h"
+
+namespace zapc::apps {
+namespace {
+
+/// Test cluster with agents on every node and a manager node.
+struct TestRig {
+  os::Cluster cl;
+  os::Node* mgr_node;
+  std::vector<core::Agent*> agents;
+  std::vector<std::unique_ptr<core::Agent>> agent_store;
+  std::unique_ptr<core::Manager> manager;
+
+  explicit TestRig(int nodes) {
+    mgr_node = &cl.add_node("mgr");
+    for (int i = 0; i < nodes; ++i) {
+      os::Node& n = cl.add_node("n" + std::to_string(i + 1));
+      agent_store.push_back(std::make_unique<core::Agent>(n));
+      agents.push_back(agent_store.back().get());
+    }
+    manager = std::make_unique<core::Manager>(*mgr_node);
+  }
+
+  /// Runs until the job finishes; returns its worst exit code.
+  i32 run_job(const JobHandle& job, sim::Time budget = 300 * sim::kSecond) {
+    for (sim::Time t = 0; t < budget; t += 20 * sim::kMillisecond) {
+      cl.run_for(20 * sim::kMillisecond);
+      if (job.finished()) return job.exit_code();
+    }
+    return -1;
+  }
+
+  /// Synchronous wrapper around Manager::checkpoint.
+  core::Manager::CheckpointReport checkpoint(
+      const std::vector<core::Manager::Target>& targets,
+      core::CkptMode mode = core::CkptMode::SNAPSHOT) {
+    core::Manager::CheckpointReport out;
+    bool done = false;
+    manager->checkpoint(targets, mode, [&](auto r) {
+      out = std::move(r);
+      done = true;
+    });
+    for (int i = 0; i < 60000 && !done; ++i) {
+      cl.run_for(sim::kMillisecond);
+    }
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  core::Manager::RestartReport restart(
+      const std::vector<core::Manager::Target>& targets) {
+    core::Manager::RestartReport out;
+    bool done = false;
+    manager->restart(targets, {}, [&](auto r) {
+      out = std::move(r);
+      done = true;
+    });
+    for (int i = 0; i < 60000 && !done; ++i) {
+      cl.run_for(sim::kMillisecond);
+    }
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+CpiProgram::Params cpi_params(i32 rank, i32 size) {
+  CpiProgram::Params p;
+  p.rank = rank;
+  p.size = size;
+  p.intervals = 4'000'000;
+  p.rounds = 2;
+  return p;
+}
+
+JobHandle launch_cpi(TestRig& rig, i32 nranks) {
+  return launch_mpi_job(rig.agents, "cpi", nranks, [&](i32 r) {
+    return std::make_unique<CpiProgram>(cpi_params(r, nranks));
+  });
+}
+
+TEST(Apps, CpiComputesPi) {
+  TestRig rig(4);
+  JobHandle job = launch_cpi(rig, 4);
+  EXPECT_EQ(rig.run_job(job), 0);
+  auto out = rig.cl.san().read("results/cpi");
+  ASSERT_TRUE(out.is_ok());
+  Decoder d(out.value());
+  EXPECT_NEAR(d.f64_().value(), M_PI, 1e-6);
+}
+
+TEST(Apps, CpiSingleRank) {
+  TestRig rig(1);
+  JobHandle job = launch_cpi(rig, 1);
+  EXPECT_EQ(rig.run_job(job), 0);
+}
+
+TEST(Apps, BratuConverges) {
+  TestRig rig(4);
+  BratuProgram::Params base;
+  base.n = 96;
+  base.iterations = 300;
+  base.size = 4;
+  JobHandle job = launch_mpi_job(rig.agents, "bratu", 4, [&](i32 r) {
+    BratuProgram::Params p = base;
+    p.rank = r;
+    return std::make_unique<BratuProgram>(p);
+  });
+  EXPECT_EQ(rig.run_job(job), 0);
+  auto out = rig.cl.san().read("results/bratu");
+  ASSERT_TRUE(out.is_ok());
+  Decoder d(out.value());
+  double residual = d.f64_().value();
+  EXPECT_LT(residual, 1.0);
+  EXPECT_TRUE(std::isfinite(residual));
+}
+
+TEST(Apps, BratuResidualIndependentOfRankCount) {
+  // Decomposition correctness: 1-rank and 3-rank runs converge to the
+  // same residual trajectory endpoint.
+  double res[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    i32 nr = trial == 0 ? 1 : 3;
+    TestRig rig(static_cast<int>(nr));
+    BratuProgram::Params base;
+    base.n = 48;
+    base.iterations = 100;
+    base.reduce_every = 100;  // only the final reduce
+    base.size = nr;
+    JobHandle job = launch_mpi_job(rig.agents, "bratu", nr, [&](i32 r) {
+      BratuProgram::Params p = base;
+      p.rank = r;
+      return std::make_unique<BratuProgram>(p);
+    });
+    EXPECT_EQ(rig.run_job(job), 0);
+    Bytes out = rig.cl.san().read("results/bratu").value();
+    Decoder d(out);
+    res[trial] = d.f64_().value();
+  }
+  EXPECT_NEAR(res[0], res[1], 1e-9 + 1e-6 * std::abs(res[0]));
+}
+
+TEST(Apps, BtDiffusionDecays) {
+  TestRig rig(4);
+  BtProgram::Params base;
+  base.n = 128;
+  base.steps = 20;
+  base.size = 4;
+  JobHandle job = launch_mpi_job(rig.agents, "bt", 4, [&](i32 r) {
+    BtProgram::Params p = base;
+    p.rank = r;
+    return std::make_unique<BtProgram>(p);
+  });
+  EXPECT_EQ(rig.run_job(job), 0);
+  Bytes out = rig.cl.san().read("results/bt").value();
+  Decoder d(out);
+  double final_norm = d.f64_().value();
+  double initial_norm = d.f64_().value();
+  EXPECT_LT(final_norm, initial_norm);
+  EXPECT_GT(final_norm, 0.0);
+}
+
+TEST(Apps, RayTracerRendersScene) {
+  TestRig rig(4);
+  RayMaster::Params mp;
+  mp.workers = 3;
+  mp.width = 160;
+  mp.height = 120;
+  JobHandle job = launch_pvm_job(
+      rig.agents, "ray", 3,
+      [&] { return std::make_unique<RayMaster>(mp); },
+      [&](i32) {
+        RayWorker::Params wp;
+        wp.master = net::SockAddr{job_vips(4)[0], mp.port};
+        wp.width = mp.width;
+        wp.cost_per_row = 50;
+        return std::make_unique<RayWorker>(wp);
+      });
+  EXPECT_EQ(rig.run_job(job), 0);
+  auto img = rig.cl.san().read("results/ray.ppm");
+  ASSERT_TRUE(img.is_ok());
+  EXPECT_EQ(img.value().size(), 160u * 120u * 3u);
+}
+
+TEST(Apps, RayRenderingIsDeterministic) {
+  Bytes a(64 * 8 * 3), b(64 * 8 * 3);
+  ray::render_band(64, 48, 8, 16, a.data());
+  ray::render_band(64, 48, 8, 16, b.data());
+  EXPECT_EQ(a, b);
+}
+
+// ---- Checkpoint-restart of real applications --------------------------------
+
+TEST(Apps, CpiSurvivesCheckpointRestartMigration) {
+  TestRig rig(8);  // 4 source + 4 destination nodes
+  std::vector<core::Agent*> src(rig.agents.begin(), rig.agents.begin() + 4);
+  JobHandle job = launch_mpi_job(rig.agents, "cpi", 4, [&](i32 r) {
+    CpiProgram::Params p = cpi_params(r, 4);
+    // Long enough (in virtual time) to checkpoint mid-flight.
+    p.intervals = 40'000'000;
+    p.intervals_per_step = 100'000;
+    p.cost_per_step = 2000;
+    return std::make_unique<CpiProgram>(p);
+  });
+
+  rig.cl.run_for(100 * sim::kMillisecond);  // mid-computation
+  ASSERT_FALSE(job.finished());
+
+  auto cr = rig.checkpoint(job.san_targets());
+  ASSERT_TRUE(cr.ok) << cr.error;
+
+  // Kill the original pods; restart everything on the other 4 nodes.
+  for (const auto& pn : job.pod_names) {
+    for (core::Agent* a : rig.agents) (void)a->destroy_pod(pn);
+  }
+  std::vector<core::Manager::Target> rt;
+  for (std::size_t i = 0; i < job.pod_names.size(); ++i) {
+    rt.push_back(core::Manager::Target{
+        rig.agents[4 + i]->addr(), job.pod_names[i],
+        "san://ckpt/" + job.pod_names[i]});
+  }
+  auto rr = rig.restart(rt);
+  ASSERT_TRUE(rr.ok) << rr.error;
+
+  EXPECT_EQ(rig.run_job(job), 0);
+  Bytes out = rig.cl.san().read("results/cpi").value();
+  Decoder d(out);
+  EXPECT_NEAR(d.f64_().value(), M_PI, 1e-6);
+}
+
+TEST(Apps, BratuSurvivesSnapshotAndCrashRestart) {
+  TestRig rig(3);
+  BratuProgram::Params base;
+  base.n = 96;
+  base.iterations = 2000;
+  base.tol = 0;  // no early convergence stop: fixed virtual duration
+  base.cost_per_row = 20;
+  base.size = 3;
+  JobHandle job = launch_mpi_job(rig.agents, "bratu", 3, [&](i32 r) {
+    BratuProgram::Params p = base;
+    p.rank = r;
+    return std::make_unique<BratuProgram>(p);
+  });
+
+  rig.cl.run_for(100 * sim::kMillisecond);
+  ASSERT_FALSE(job.finished());
+  auto targets = job.san_targets();  // capture before the pods vanish
+  auto cr = rig.checkpoint(targets);
+  ASSERT_TRUE(cr.ok) << cr.error;
+
+  // Let it progress past the checkpoint, then "crash" and rewind.
+  rig.cl.run_for(100 * sim::kMillisecond);
+  for (const auto& pn : job.pod_names) {
+    for (core::Agent* a : rig.agents) (void)a->destroy_pod(pn);
+  }
+  auto rr = rig.restart(targets);
+  ASSERT_TRUE(rr.ok) << rr.error;
+
+  EXPECT_EQ(rig.run_job(job), 0);
+  Bytes out = rig.cl.san().read("results/bratu").value();
+  Decoder d(out);
+  EXPECT_TRUE(std::isfinite(d.f64_().value()));
+}
+
+TEST(Apps, BtSurvivesCheckpointDuringHaloExchange) {
+  TestRig rig(4);
+  BtProgram::Params base;
+  base.n = 128;
+  base.steps = 30;
+  base.size = 4;
+  JobHandle job = launch_mpi_job(rig.agents, "bt", 4, [&](i32 r) {
+    BtProgram::Params p = base;
+    p.rank = r;
+    return std::make_unique<BtProgram>(p);
+  });
+
+  // Take several snapshots while halo traffic is in flight.
+  for (int k = 0; k < 3; ++k) {
+    rig.cl.run_for(30 * sim::kMillisecond);
+    if (job.finished()) break;
+    auto cr = rig.checkpoint(job.san_targets());
+    ASSERT_TRUE(cr.ok) << "snapshot " << k << ": " << cr.error;
+  }
+  EXPECT_EQ(rig.run_job(job), 0);
+}
+
+TEST(Apps, RaySurvivesWorkerMigration) {
+  TestRig rig(6);
+  RayMaster::Params mp;
+  mp.workers = 3;
+  mp.width = 200;
+  mp.height = 150;
+  JobHandle job = launch_pvm_job(
+      rig.agents, "ray", 3,
+      [&] { return std::make_unique<RayMaster>(mp); },
+      [&](i32) {
+        RayWorker::Params wp;
+        wp.master = net::SockAddr{job_vips(4)[0], mp.port};
+        wp.width = mp.width;
+        wp.cost_per_row = 3000;  // slow render so we checkpoint mid-task
+        return std::make_unique<RayWorker>(wp);
+      });
+
+  rig.cl.run_for(50 * sim::kMillisecond);
+  ASSERT_FALSE(job.finished());
+
+  auto cr = rig.checkpoint(job.san_targets());
+  ASSERT_TRUE(cr.ok) << cr.error;
+  for (const auto& pn : job.pod_names) {
+    for (core::Agent* a : rig.agents) (void)a->destroy_pod(pn);
+  }
+  // Restart master + workers on the two spare nodes and two originals.
+  std::vector<core::Manager::Target> rt;
+  for (std::size_t i = 0; i < job.pod_names.size(); ++i) {
+    rt.push_back(core::Manager::Target{
+        rig.agents[(i + 4) % rig.agents.size()]->addr(), job.pod_names[i],
+        "san://ckpt/" + job.pod_names[i]});
+  }
+  auto rr = rig.restart(rt);
+  ASSERT_TRUE(rr.ok) << rr.error;
+
+  EXPECT_EQ(rig.run_job(job), 0);
+  auto img = rig.cl.san().read("results/ray.ppm");
+  ASSERT_TRUE(img.is_ok());
+  EXPECT_EQ(img.value().size(), 200u * 150u * 3u);
+}
+
+TEST(Apps, LauncherPlacesOnePodPerRank) {
+  TestRig rig(2);
+  JobHandle job = launch_cpi(rig, 4);  // 4 ranks on 2 nodes
+  EXPECT_EQ(job.pod_names.size(), 4u);
+  EXPECT_EQ(rig.agents[0]->pod_count(), 2u);
+  EXPECT_EQ(rig.agents[1]->pod_count(), 2u);
+  EXPECT_EQ(rig.run_job(job), 0);
+}
+
+}  // namespace
+}  // namespace zapc::apps

@@ -1,0 +1,144 @@
+// Multiple pods per node in one coordinated operation (paper §3: "ZapC
+// allows multiple pods to execute concurrently on the same node" — e.g.
+// a dual-CPU node hosting two application endpoints in two pods — and
+// §4's algorithm handles one Agent running several local checkpoints).
+#include <gtest/gtest.h>
+
+#include "apps/cpi.h"
+#include "apps/launcher.h"
+#include "core/agent.h"
+#include "core/manager.h"
+#include "os/cluster.h"
+#include "tests/guest_programs.h"
+
+namespace zapc::core {
+namespace {
+
+TEST(Colocated, CoordinatedCheckpointOfTwoPodsPerNode) {
+  os::Cluster cl;
+  os::Node* mgr_node = &cl.add_node("mgr");
+  // Two dual-CPU nodes hosting a 4-rank job: two pods per node.
+  std::vector<std::unique_ptr<Agent>> agents;
+  std::vector<Agent*> aptrs;
+  for (int i = 0; i < 2; ++i) {
+    agents.push_back(std::make_unique<Agent>(
+        cl.add_node("n" + std::to_string(i + 1), /*ncpus=*/2)));
+    aptrs.push_back(agents.back().get());
+  }
+  Manager mgr(*mgr_node);
+
+  apps::JobHandle job = apps::launch_mpi_job(
+      aptrs, "cpi", 4, [](i32 r) {
+        apps::CpiProgram::Params p;
+        p.rank = r;
+        p.size = 4;
+        p.intervals = 40'000'000;
+        p.intervals_per_step = 100'000;
+        p.cost_per_step = 2000;
+        return std::make_unique<apps::CpiProgram>(p);
+      });
+  ASSERT_EQ(agents[0]->pod_count(), 2u);
+  ASSERT_EQ(agents[1]->pod_count(), 2u);
+
+  cl.run_for(100 * sim::kMillisecond);
+  ASSERT_FALSE(job.finished());
+
+  // One coordinated checkpoint: each Agent receives TWO commands (one
+  // per local pod) over separate manager channels, runs both local
+  // procedures concurrently, and the single barrier covers all four.
+  auto targets = job.san_targets();
+  bool done = false;
+  Manager::CheckpointReport cr;
+  mgr.checkpoint(targets, CkptMode::SNAPSHOT, [&](auto r) {
+    cr = std::move(r);
+    done = true;
+  });
+  for (int i = 0; i < 30000 && !done; ++i) cl.run_for(sim::kMillisecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(cr.ok) << cr.error;
+  EXPECT_EQ(cr.agents.size(), 4u);
+  EXPECT_EQ(cr.metas.size(), 4u);
+
+  // Crash everything; restart with a DIFFERENT packing: all four pods on
+  // node 1 (the paper's N→M remapping with M=1).
+  for (const auto& pn : job.pod_names) {
+    for (Agent* a : aptrs) (void)a->destroy_pod(pn);
+  }
+  std::vector<Manager::Target> rt;
+  for (std::size_t i = 0; i < job.pod_names.size(); ++i) {
+    rt.push_back(Manager::Target{aptrs[0]->addr(), job.pod_names[i],
+                                 "san://ckpt/" + job.pod_names[i]});
+  }
+  done = false;
+  Manager::RestartReport rr;
+  mgr.restart(rt, {}, [&](auto r) {
+    rr = std::move(r);
+    done = true;
+  });
+  for (int i = 0; i < 60000 && !done; ++i) cl.run_for(sim::kMillisecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_EQ(agents[0]->pod_count(), 4u);  // N=2 nodes -> M=1 node
+
+  // The 4-rank job finishes correctly squeezed onto one dual-CPU node.
+  for (int i = 0; i < 60000; ++i) {
+    cl.run_for(10 * sim::kMillisecond);
+    if (job.finished()) break;
+  }
+  ASSERT_TRUE(job.finished());
+  EXPECT_EQ(job.exit_code(), 0);
+}
+
+TEST(Colocated, SnapshotKeepsCoLocatedPodsIndependent) {
+  // An agent checkpointing one of its pods must not disturb other pods
+  // on the same node.
+  os::Cluster cl;
+  os::Node* mgr_node = &cl.add_node("mgr");
+  Agent a1(cl.add_node("n1", 2));
+  Agent a2(cl.add_node("n2", 2));
+  Manager mgr(*mgr_node);
+
+  std::vector<Agent*> aptrs{&a1, &a2};
+  apps::JobHandle job = apps::launch_mpi_job(
+      aptrs, "job-a", 2, [](i32 r) {
+        apps::CpiProgram::Params p;
+        p.rank = r;
+        p.size = 2;
+        p.intervals = 30'000'000;
+        p.intervals_per_step = 100'000;
+        p.cost_per_step = 2000;
+        return std::make_unique<apps::CpiProgram>(p);
+      });
+
+  // Independent bystander pods co-located on the same nodes.
+  pod::Pod& by1 = a1.create_pod(net::IpAddr(10, 99, 0, 1), "bystander1");
+  pod::Pod& by2 = a2.create_pod(net::IpAddr(10, 99, 0, 2), "bystander2");
+  i32 b1 = by1.spawn(std::make_unique<test::CounterProgram>(1u << 30, 100));
+  i32 b2 = by2.spawn(std::make_unique<test::CounterProgram>(1u << 30, 100));
+
+  cl.run_for(50 * sim::kMillisecond);
+  auto count_of = [](pod::Pod& p, i32 pid) {
+    return static_cast<test::CounterProgram&>(p.find_process(pid)->program())
+        .count();
+  };
+  u32 c1 = count_of(by1, b1);
+  u32 c2 = count_of(by2, b2);
+
+  // Checkpoint only job-a; the bystanders keep running throughout.
+  bool done = false;
+  Manager::CheckpointReport cr;
+  mgr.checkpoint(job.san_targets(), CkptMode::SNAPSHOT, [&](auto r) {
+    cr = std::move(r);
+    done = true;
+  });
+  for (int i = 0; i < 30000 && !done; ++i) cl.run_for(sim::kMillisecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(cr.ok) << cr.error;
+  EXPECT_FALSE(by1.suspended());
+  EXPECT_FALSE(by2.suspended());
+  EXPECT_GT(count_of(by1, b1), c1);  // made progress during the checkpoint
+  EXPECT_GT(count_of(by2, b2), c2);
+}
+
+}  // namespace
+}  // namespace zapc::core

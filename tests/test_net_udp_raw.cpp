@@ -1,0 +1,305 @@
+// UDP and raw-IP socket tests, plus packet filter and fabric behaviour.
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "net/filter.h"
+#include "net/raw.h"
+#include "net/stack.h"
+#include "net/udp.h"
+#include "tests/helpers.h"
+
+namespace zapc::net {
+namespace {
+
+using test::TestNet;
+using test::pattern_bytes;
+
+class UdpTest : public ::testing::Test {
+ protected:
+  UdpTest()
+      : a_(net_.engine, IpAddr(10, 0, 0, 1), "A"),
+        b_(net_.engine, IpAddr(10, 0, 0, 2), "B") {
+    net_.add(a_);
+    net_.add(b_);
+  }
+
+  TestNet net_;
+  Stack a_;
+  Stack b_;
+};
+
+TEST_F(UdpTest, DatagramRoundTrip) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+
+  Bytes msg = to_bytes("datagram");
+  ASSERT_TRUE(a_.sys_sendto(tx, msg, 0, SockAddr{b_.vip(), 9000}).is_ok());
+  net_.step_for(sim::kMillisecond);
+
+  auto r = b_.sys_recv(rx, 1024, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().data, msg);
+  EXPECT_EQ(r.value().from.ip, a_.vip());
+}
+
+TEST_F(UdpTest, PreservesDatagramBoundaries) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        a_.sys_sendto(tx, pattern_bytes(100, static_cast<u8>(i)), 0,
+                      SockAddr{b_.vip(), 9000})
+            .is_ok());
+  }
+  net_.step_for(sim::kMillisecond);
+  for (int i = 0; i < 3; ++i) {
+    auto r = b_.sys_recv(rx, 1024, 0);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, pattern_bytes(100, static_cast<u8>(i)));
+  }
+  EXPECT_EQ(b_.sys_recv(rx, 1024, 0).err(), Err::WOULD_BLOCK);
+}
+
+TEST_F(UdpTest, TruncationDiscardsRest) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(a_.sys_sendto(tx, pattern_bytes(100), 0,
+                            SockAddr{b_.vip(), 9000})
+                  .is_ok());
+  ASSERT_TRUE(
+      a_.sys_sendto(tx, to_bytes("next"), 0, SockAddr{b_.vip(), 9000})
+          .is_ok());
+  net_.step_for(sim::kMillisecond);
+
+  auto r = b_.sys_recv(rx, 10, 0);  // short read truncates
+  EXPECT_EQ(r.value().data.size(), 10u);
+  auto r2 = b_.sys_recv(rx, 1024, 0);  // next call returns the next dgram
+  EXPECT_EQ(to_string(r2.value().data), "next");
+}
+
+TEST_F(UdpTest, PeekKeepsDatagramAndMarksPeeked) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(
+      a_.sys_sendto(tx, to_bytes("peeked"), 0, SockAddr{b_.vip(), 9000})
+          .is_ok());
+  net_.step_for(sim::kMillisecond);
+
+  UdpSocket* sock = b_.find_udp(rx);
+  EXPECT_FALSE(sock->peeked());
+  auto p = b_.sys_recv(rx, 1024, MSG_PEEK);
+  EXPECT_EQ(to_string(p.value().data), "peeked");
+  EXPECT_TRUE(sock->peeked());  // paper §5: peeked data must survive c/r
+  auto r = b_.sys_recv(rx, 1024, 0);
+  EXPECT_EQ(to_string(r.value().data), "peeked");
+}
+
+TEST_F(UdpTest, ConnectedSocketFiltersSources) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+  ASSERT_TRUE(b_.sys_connect(rx, SockAddr{a_.vip(), 8000}).is_ok());
+
+  // From the expected source/port: delivered.
+  SockId tx1 = a_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(a_.sys_bind(tx1, SockAddr{kAnyAddr, 8000}).is_ok());
+  ASSERT_TRUE(
+      a_.sys_sendto(tx1, to_bytes("yes"), 0, SockAddr{b_.vip(), 9000})
+          .is_ok());
+  // From another port: filtered out.
+  SockId tx2 = a_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(a_.sys_bind(tx2, SockAddr{kAnyAddr, 8001}).is_ok());
+  ASSERT_TRUE(
+      a_.sys_sendto(tx2, to_bytes("no"), 0, SockAddr{b_.vip(), 9000})
+          .is_ok());
+  net_.step_for(sim::kMillisecond);
+
+  EXPECT_EQ(to_string(b_.sys_recv(rx, 100, 0).value().data), "yes");
+  EXPECT_EQ(b_.sys_recv(rx, 100, 0).err(), Err::WOULD_BLOCK);
+}
+
+TEST_F(UdpTest, ConnectedSendWithoutAddress) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(a_.sys_connect(tx, SockAddr{b_.vip(), 9000}).is_ok());
+  ASSERT_TRUE(a_.sys_send(tx, to_bytes("via connect"), 0).is_ok());
+  net_.step_for(sim::kMillisecond);
+  EXPECT_EQ(to_string(b_.sys_recv(rx, 100, 0).value().data), "via connect");
+}
+
+TEST_F(UdpTest, UnconnectedSendWithoutAddressFails) {
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+  EXPECT_EQ(a_.sys_send(tx, to_bytes("x"), 0).err(), Err::NOT_CONNECTED);
+}
+
+TEST_F(UdpTest, OversizeDatagramRejected) {
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+  EXPECT_EQ(a_.sys_sendto(tx, Bytes(70000, 0), 0, SockAddr{b_.vip(), 1})
+                .err(),
+            Err::MSG_SIZE);
+}
+
+TEST_F(UdpTest, RcvbufOverflowDropsDatagrams) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+  ASSERT_TRUE(b_.sys_setsockopt(rx, SockOpt::SO_RCVBUF, 1000).is_ok());
+  SockId tx = a_.sys_socket(Proto::UDP).value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a_.sys_sendto(tx, pattern_bytes(400), 0,
+                              SockAddr{b_.vip(), 9000})
+                    .is_ok());
+  }
+  net_.step_for(sim::kMillisecond);
+  EXPECT_EQ(b_.find_udp(rx)->queue_len(), 2u);  // 2 * 400 <= 1000 < 3 * 400
+}
+
+TEST_F(UdpTest, AltQueuePreservesDatagramBoundariesAndSources) {
+  SockId rx = b_.sys_socket(Proto::UDP).value();
+  ASSERT_TRUE(b_.sys_bind(rx, SockAddr{kAnyAddr, 9000}).is_ok());
+
+  std::deque<RecvItem> items;
+  items.push_back(RecvItem{to_bytes("one"), SockAddr{a_.vip(), 1111}, false});
+  items.push_back(RecvItem{to_bytes("two"), SockAddr{a_.vip(), 2222}, false});
+  b_.find(rx)->install_alt_queue(std::move(items));
+
+  auto r1 = b_.sys_recv(rx, 1024, 0);
+  EXPECT_EQ(to_string(r1.value().data), "one");
+  EXPECT_EQ(r1.value().from.port, 1111);
+  auto r2 = b_.sys_recv(rx, 1024, 0);
+  EXPECT_EQ(to_string(r2.value().data), "two");
+  EXPECT_EQ(r2.value().from.port, 2222);
+  EXPECT_EQ(b_.find(rx)->alt_queue(), nullptr);
+}
+
+TEST_F(UdpTest, RawSocketRoundTrip) {
+  SockId rx = b_.sys_socket(Proto::RAW).value();
+  ASSERT_TRUE(b_.sys_bind_raw(rx, 89).is_ok());  // e.g. OSPF
+  SockId tx = a_.sys_socket(Proto::RAW).value();
+  ASSERT_TRUE(a_.sys_bind_raw(tx, 89).is_ok());
+  ASSERT_TRUE(
+      a_.sys_sendto(tx, to_bytes("raw payload"), 0, SockAddr{b_.vip(), 0})
+          .is_ok());
+  net_.step_for(sim::kMillisecond);
+  auto r = b_.sys_recv(rx, 1024, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(to_string(r.value().data), "raw payload");
+}
+
+TEST_F(UdpTest, RawSocketProtoFilter) {
+  SockId rx = b_.sys_socket(Proto::RAW).value();
+  ASSERT_TRUE(b_.sys_bind_raw(rx, 89).is_ok());
+  SockId tx = a_.sys_socket(Proto::RAW).value();
+  ASSERT_TRUE(a_.sys_bind_raw(tx, 47).is_ok());  // different protocol
+  ASSERT_TRUE(a_.sys_sendto(tx, to_bytes("gre"), 0, SockAddr{b_.vip(), 0})
+                  .is_ok());
+  net_.step_for(sim::kMillisecond);
+  EXPECT_EQ(b_.sys_recv(rx, 1024, 0).err(), Err::WOULD_BLOCK);
+}
+
+TEST(PacketFilter, BlocksBothDirections) {
+  PacketFilter f;
+  IpAddr pod(10, 77, 0, 1);
+  Packet from_pod;
+  from_pod.src = SockAddr{pod, 1};
+  from_pod.dst = SockAddr{IpAddr(10, 77, 0, 2), 2};
+  Packet to_pod;
+  to_pod.src = SockAddr{IpAddr(10, 77, 0, 2), 2};
+  to_pod.dst = SockAddr{pod, 1};
+
+  EXPECT_TRUE(f.pass(from_pod, Hook::EGRESS));
+  f.block_addr(pod);
+  EXPECT_FALSE(f.pass(from_pod, Hook::EGRESS));
+  EXPECT_FALSE(f.pass(to_pod, Hook::INGRESS));
+  EXPECT_EQ(f.dropped_egress(), 1u);
+  EXPECT_EQ(f.dropped_ingress(), 1u);
+  f.unblock_addr(pod);
+  EXPECT_TRUE(f.pass(from_pod, Hook::EGRESS));
+  EXPECT_TRUE(f.pass(to_pod, Hook::INGRESS));
+}
+
+TEST(Fabric, DeliversWithLatency) {
+  sim::Engine e;
+  Fabric fab(e, FabricConfig{.latency = 100, .jitter = 0, .loss_prob = 0});
+  IpAddr n1(192, 168, 1, 1), n2(192, 168, 1, 2);
+  fab.attach(n1, [](const WirePacket&) {});
+  sim::Time arrival = 0;
+  fab.attach(n2, [&](const WirePacket&) { arrival = e.now(); });
+
+  WirePacket wp;
+  wp.src_node = n1;
+  wp.dst_node = n2;
+  wp.inner.payload = Bytes(100, 1);
+  fab.send(wp);
+  e.run();
+  EXPECT_GE(arrival, 100u);
+  EXPECT_EQ(fab.stats().packets_delivered, 1u);
+}
+
+TEST(Fabric, DetachedDestinationDrops) {
+  sim::Engine e;
+  Fabric fab(e, FabricConfig{});
+  IpAddr n1(192, 168, 1, 1), n2(192, 168, 1, 2);
+  fab.attach(n1, [](const WirePacket&) {});
+  WirePacket wp;
+  wp.src_node = n1;
+  wp.dst_node = n2;
+  fab.send(wp);
+  e.run();
+  EXPECT_EQ(fab.stats().packets_dropped_noroute, 1u);
+}
+
+TEST(Fabric, LossRateApproximatelyRespected) {
+  sim::Engine e;
+  Fabric fab(e, FabricConfig{.latency = 1,
+                             .jitter = 0,
+                             .loss_prob = 0.3,
+                             .bandwidth_bps = 0,
+                             .seed = 11});
+  IpAddr n1(192, 168, 1, 1), n2(192, 168, 1, 2);
+  int delivered = 0;
+  fab.attach(n1, [](const WirePacket&) {});
+  fab.attach(n2, [&](const WirePacket&) { ++delivered; });
+  for (int i = 0; i < 1000; ++i) {
+    WirePacket wp;
+    wp.src_node = n1;
+    wp.dst_node = n2;
+    fab.send(wp);
+  }
+  e.run();
+  EXPECT_GT(delivered, 600);
+  EXPECT_LT(delivered, 800);
+}
+
+TEST(Fabric, BandwidthSerializesBackToBack) {
+  sim::Engine e;
+  // 1 Mbps: a 1040-byte frame (1000B payload + headers) takes ~8.3 ms.
+  Fabric fab(e, FabricConfig{.latency = 0,
+                             .jitter = 0,
+                             .loss_prob = 0,
+                             .bandwidth_bps = 1'000'000});
+  IpAddr n1(192, 168, 1, 1), n2(192, 168, 1, 2);
+  std::vector<sim::Time> arrivals;
+  fab.attach(n1, [](const WirePacket&) {});
+  fab.attach(n2, [&](const WirePacket&) { arrivals.push_back(e.now()); });
+  for (int i = 0; i < 3; ++i) {
+    WirePacket wp;
+    wp.src_node = n1;
+    wp.dst_node = n2;
+    wp.inner.payload = Bytes(1000, 0);
+    fab.send(wp);
+  }
+  e.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Each successive packet waits for the previous transmission.
+  EXPECT_GT(arrivals[1], arrivals[0]);
+  EXPECT_GT(arrivals[2], arrivals[1]);
+  EXPECT_NEAR(static_cast<double>(arrivals[1] - arrivals[0]),
+              static_cast<double>(arrivals[0]), 1000.0);
+}
+
+}  // namespace
+}  // namespace zapc::net

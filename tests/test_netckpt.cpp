@@ -1,0 +1,387 @@
+// Network-state checkpoint-restart unit tests (paper §5 mechanics), plus
+// the Manager's restart scheduling (roles and overlap computation).
+#include <gtest/gtest.h>
+
+#include "core/netckpt.h"
+#include "core/schedule.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "os/cluster.h"
+#include "pod/pod.h"
+#include "tests/helpers.h"
+
+namespace zapc::core {
+namespace {
+
+using test::pattern_bytes;
+
+net::IpAddr vip(u8 i) { return net::IpAddr(10, 77, 0, i); }
+
+/// Two pods on two nodes with a TCP connection between them, plus helpers
+/// to pump the network.
+class NetCkptTest : public ::testing::Test {
+ protected:
+  NetCkptTest() {
+    n1_ = &cl_.add_node("n1");
+    n2_ = &cl_.add_node("n2");
+    p1_ = std::make_unique<pod::Pod>(*n1_, vip(1), "p1");
+    p2_ = std::make_unique<pod::Pod>(*n2_, vip(2), "p2");
+  }
+
+  /// Establishes a connection from p1 to a listener on p2.
+  /// Returns {client sock on p1, accepted sock on p2, listener}.
+  std::tuple<net::SockId, net::SockId, net::SockId> connect_pods(
+      u16 port = 6000) {
+    net::Stack& s2 = p2_->stack();
+    net::SockId lst = s2.sys_socket(net::Proto::TCP).value();
+    EXPECT_TRUE(s2.sys_bind(lst, net::SockAddr{net::kAnyAddr, port}).is_ok());
+    EXPECT_TRUE(s2.sys_listen(lst, 8).is_ok());
+
+    net::Stack& s1 = p1_->stack();
+    net::SockId cli = s1.sys_socket(net::Proto::TCP).value();
+    EXPECT_EQ(s1.sys_connect(cli, net::SockAddr{vip(2), port}).err(),
+              Err::IN_PROGRESS);
+    cl_.run_for(10 * sim::kMillisecond);
+    auto child = s2.sys_accept(lst, nullptr);
+    EXPECT_TRUE(child.is_ok());
+    return {cli, child.value_or(net::kInvalidSock), lst};
+  }
+
+  os::Cluster cl_;
+  os::Node* n1_;
+  os::Node* n2_;
+  std::unique_ptr<pod::Pod> p1_;
+  std::unique_ptr<pod::Pod> p2_;
+};
+
+TEST_F(NetCkptTest, SaveIsNonDestructive) {
+  auto [cli, srv, lst] = connect_pods();
+  Bytes msg = to_bytes("data waiting in the receive queue");
+  ASSERT_TRUE(p1_->stack().sys_send(cli, msg, 0).is_ok());
+  cl_.run_for(10 * sim::kMillisecond);
+
+  // Freeze and checkpoint p2's network state.
+  p2_->suspend();
+  p2_->filter().block_addr(vip(2));
+  ckpt::NetMeta meta;
+  std::vector<ckpt::SocketImage> socks;
+  ASSERT_TRUE(NetCheckpoint::save(*p2_, meta, socks).is_ok());
+
+  // The captured image holds the queued data...
+  const ckpt::SocketImage* srv_img = nullptr;
+  for (const auto& s : socks) {
+    if (s.old_id == srv) srv_img = &s;
+  }
+  ASSERT_NE(srv_img, nullptr);
+  ASSERT_EQ(srv_img->recv_queue.size(), 1u);
+  EXPECT_EQ(srv_img->recv_queue[0].data, msg);
+
+  // ...and the application still reads exactly the same bytes afterward
+  // (the read-and-reinject trick; paper §5).
+  p2_->filter().unblock_addr(vip(2));
+  p2_->resume();
+  auto r = p2_->stack().sys_recv(srv, 1024, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().data, msg);
+}
+
+TEST_F(NetCkptTest, SecondCheckpointCapturesAltQueue) {
+  auto [cli, srv, lst] = connect_pods();
+  ASSERT_TRUE(p1_->stack().sys_send(cli, to_bytes("round1"), 0).is_ok());
+  cl_.run_for(10 * sim::kMillisecond);
+
+  // First checkpoint drains + reinjects into the alternate queue.
+  ckpt::NetMeta meta1;
+  std::vector<ckpt::SocketImage> socks1;
+  ASSERT_TRUE(NetCheckpoint::save(*p2_, meta1, socks1).is_ok());
+  ASSERT_NE(p2_->stack().find(srv)->alt_queue(), nullptr);
+
+  // Second checkpoint before the app reads: must still see the data
+  // (paper §5: "the checkpoint procedure must save the state of the
+  // alternate queue, if applicable").
+  ckpt::NetMeta meta2;
+  std::vector<ckpt::SocketImage> socks2;
+  ASSERT_TRUE(NetCheckpoint::save(*p2_, meta2, socks2).is_ok());
+  const ckpt::SocketImage* img = nullptr;
+  for (const auto& s : socks2) {
+    if (s.old_id == srv) img = &s;
+  }
+  ASSERT_NE(img, nullptr);
+  ASSERT_FALSE(img->recv_queue.empty());
+  EXPECT_EQ(to_string(img->recv_queue[0].data), "round1");
+}
+
+TEST_F(NetCkptTest, UrgentByteCaptured) {
+  auto [cli, srv, lst] = connect_pods();
+  ASSERT_TRUE(p1_->stack().sys_send(cli, to_bytes("normal"), 0).is_ok());
+  ASSERT_TRUE(p1_->stack().sys_send(cli, Bytes{'U'}, net::MSG_OOB).is_ok());
+  cl_.run_for(10 * sim::kMillisecond);
+  ASSERT_TRUE(p2_->stack().find_tcp(srv)->has_urgent());
+
+  ckpt::NetMeta meta;
+  std::vector<ckpt::SocketImage> socks;
+  ASSERT_TRUE(NetCheckpoint::save(*p2_, meta, socks).is_ok());
+
+  const ckpt::SocketImage* img = nullptr;
+  for (const auto& s : socks) {
+    if (s.old_id == srv) img = &s;
+  }
+  ASSERT_NE(img, nullptr);
+  bool has_oob = false;
+  for (const auto& item : img->recv_queue) {
+    if (item.oob) {
+      has_oob = true;
+      EXPECT_EQ(item.data, Bytes{'U'});
+    }
+  }
+  EXPECT_TRUE(has_oob);
+  // Still readable by the app afterwards (re-injected).
+  EXPECT_TRUE(p2_->stack().find_tcp(srv)->has_urgent());
+  auto oob = p2_->stack().sys_recv(srv, 1, net::MSG_OOB);
+  ASSERT_TRUE(oob.is_ok());
+  EXPECT_EQ(oob.value().data, Bytes{'U'});
+}
+
+TEST_F(NetCkptTest, NaivePeekMissesUrgentData) {
+  // The Cruz critique (paper §2): peeking at the receive queue cannot see
+  // urgent data; ZapC's method does.
+  auto [cli, srv, lst] = connect_pods();
+  ASSERT_TRUE(p1_->stack().sys_send(cli, to_bytes("ab"), 0).is_ok());
+  ASSERT_TRUE(p1_->stack().sys_send(cli, Bytes{'U'}, net::MSG_OOB).is_ok());
+  cl_.run_for(10 * sim::kMillisecond);
+
+  auto peeked = p2_->stack().sys_recv(srv, 4096, net::MSG_PEEK);
+  ASSERT_TRUE(peeked.is_ok());
+  EXPECT_EQ(to_string(peeked.value().data), "ab");  // no 'U' visible
+  EXPECT_TRUE(p2_->stack().find_tcp(srv)->has_urgent());
+}
+
+TEST_F(NetCkptTest, SendQueueCapturedNonDestructively) {
+  auto [cli, srv, lst] = connect_pods();
+  // Block the receiver so data accumulates unacknowledged.
+  p2_->filter().block_addr(vip(2));
+  Bytes msg = pattern_bytes(4096, 5);
+  ASSERT_TRUE(p1_->stack().sys_send(cli, msg, 0).is_ok());
+  cl_.run_for(10 * sim::kMillisecond);
+
+  ckpt::NetMeta meta;
+  std::vector<ckpt::SocketImage> socks;
+  ASSERT_TRUE(NetCheckpoint::save(*p1_, meta, socks).is_ok());
+  const ckpt::SocketImage* img = nullptr;
+  for (const auto& s : socks) {
+    if (s.old_id == cli) img = &s;
+  }
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->send_queue, msg);
+  EXPECT_EQ(img->pcb_sent - img->pcb_acked, msg.size());
+
+  // Unblocking lets TCP deliver normally: capture had no side effects.
+  p2_->filter().unblock_addr(vip(2));
+  cl_.run_for(2 * sim::kSecond);
+  auto r = p2_->stack().sys_recv(srv, 65536, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().data, msg);
+}
+
+TEST_F(NetCkptTest, MetaClassifiesStates) {
+  auto [cli, srv, lst] = connect_pods();
+  // Half-duplex: client shuts down its write side.
+  ASSERT_TRUE(
+      p1_->stack().sys_shutdown(cli, net::ShutdownHow::WR).is_ok());
+  cl_.run_for(10 * sim::kMillisecond);
+
+  ckpt::NetMeta meta;
+  std::vector<ckpt::SocketImage> socks;
+  ASSERT_TRUE(NetCheckpoint::save(*p1_, meta, socks).is_ok());
+  ASSERT_EQ(meta.entries.size(), 1u);
+  EXPECT_EQ(meta.entries[0].state, ckpt::ConnState::HALF_DUPLEX);
+
+  ckpt::NetMeta meta2;
+  std::vector<ckpt::SocketImage> socks2;
+  ASSERT_TRUE(NetCheckpoint::save(*p2_, meta2, socks2).is_ok());
+  // p2 has the listener and the (peer-closed) connection.
+  ASSERT_EQ(meta2.entries.size(), 2u);
+  bool saw_listener = false, saw_half = false;
+  for (const auto& e : meta2.entries) {
+    if (e.state == ckpt::ConnState::LISTENER) saw_listener = true;
+    if (e.state == ckpt::ConnState::HALF_DUPLEX) saw_half = true;
+  }
+  EXPECT_TRUE(saw_listener);
+  EXPECT_TRUE(saw_half);
+}
+
+TEST_F(NetCkptTest, UdpQueueAlwaysSaved) {
+  net::Stack& s2 = p2_->stack();
+  net::SockId rx = s2.sys_socket(net::Proto::UDP).value();
+  ASSERT_TRUE(s2.sys_bind(rx, net::SockAddr{net::kAnyAddr, 9100}).is_ok());
+  net::Stack& s1 = p1_->stack();
+  net::SockId tx = s1.sys_socket(net::Proto::UDP).value();
+  ASSERT_TRUE(
+      s1.sys_sendto(tx, to_bytes("dgram-a"), 0, net::SockAddr{vip(2), 9100})
+          .is_ok());
+  ASSERT_TRUE(
+      s1.sys_sendto(tx, to_bytes("dgram-b"), 0, net::SockAddr{vip(2), 9100})
+          .is_ok());
+  cl_.run_for(5 * sim::kMillisecond);
+
+  ckpt::NetMeta meta;
+  std::vector<ckpt::SocketImage> socks;
+  ASSERT_TRUE(NetCheckpoint::save(*p2_, meta, socks).is_ok());
+  const ckpt::SocketImage* img = nullptr;
+  for (const auto& s : socks) {
+    if (s.old_id == rx) img = &s;
+  }
+  ASSERT_NE(img, nullptr);
+  ASSERT_EQ(img->recv_queue.size(), 2u);
+  EXPECT_EQ(to_string(img->recv_queue[0].data), "dgram-a");
+  EXPECT_EQ(to_string(img->recv_queue[1].data), "dgram-b");
+  // Datagrams still readable afterwards with boundaries intact.
+  EXPECT_EQ(to_string(s2.sys_recv(rx, 100, 0).value().data), "dgram-a");
+  EXPECT_EQ(to_string(s2.sys_recv(rx, 100, 0).value().data), "dgram-b");
+}
+
+TEST_F(NetCkptTest, RestoreSocketParamsRoundTrip) {
+  // Configure distinctive parameters, capture, restore onto a new socket
+  // in a fresh pod, and verify via getsockopt.
+  auto [cli, srv, lst] = connect_pods();
+  net::Stack& s1 = p1_->stack();
+  ASSERT_TRUE(s1.sys_setsockopt(cli, net::SockOpt::SO_RCVBUF, 12345).is_ok());
+  ASSERT_TRUE(s1.sys_setsockopt(cli, net::SockOpt::TCP_NODELAY, 1).is_ok());
+  ASSERT_TRUE(s1.sys_setsockopt(cli, net::SockOpt::O_NONBLOCK, 1).is_ok());
+
+  ckpt::NetMeta meta;
+  std::vector<ckpt::SocketImage> socks;
+  ASSERT_TRUE(NetCheckpoint::save(*p1_, meta, socks).is_ok());
+  const ckpt::SocketImage* img = nullptr;
+  for (const auto& s : socks) {
+    if (s.old_id == cli) img = &s;
+  }
+  ASSERT_NE(img, nullptr);
+
+  os::Node& n3 = cl_.add_node("n3");
+  pod::Pod p3(n3, vip(3), "p3");
+  net::SockId fresh = p3.stack().sys_socket(net::Proto::TCP).value();
+  // Not connected; restore_socket applies parameters and queues only.
+  ckpt::SocketImage local = *img;
+  local.connected = false;
+  local.shut_wr = false;
+  local.peer_closed = false;
+  ASSERT_TRUE(
+      NetCheckpoint::restore_socket(p3, fresh, local, 0, {}).is_ok());
+  EXPECT_EQ(p3.stack().sys_getsockopt(fresh, net::SockOpt::SO_RCVBUF).value(),
+            12345);
+  EXPECT_EQ(
+      p3.stack().sys_getsockopt(fresh, net::SockOpt::TCP_NODELAY).value(),
+      1);
+  EXPECT_EQ(
+      p3.stack().sys_getsockopt(fresh, net::SockOpt::O_NONBLOCK).value(), 1);
+}
+
+// ---- Restart scheduling ---------------------------------------------------------
+
+ckpt::NetMetaEntry conn_entry(net::SockId sock, net::SockAddr src,
+                              net::SockAddr dst, u32 sent, u32 acked,
+                              u32 recv) {
+  ckpt::NetMetaEntry e;
+  e.sock = sock;
+  e.proto = net::Proto::TCP;
+  e.source = src;
+  e.target = dst;
+  e.state = ckpt::ConnState::FULL_DUPLEX;
+  e.pcb_sent = sent;
+  e.pcb_acked = acked;
+  e.pcb_recv = recv;
+  return e;
+}
+
+TEST(Schedule, PairsRolesConsistently) {
+  net::SockAddr a{vip(1), 40000}, b{vip(2), 6000};
+  ckpt::NetMeta m1, m2;
+  m1.pod_vip = vip(1);
+  m2.pod_vip = vip(2);
+  m1.entries.push_back(conn_entry(5, a, b, 100, 100, 200));
+  // Listener on p2 covering the connection's source port.
+  ckpt::NetMetaEntry lst;
+  lst.sock = 1;
+  lst.source = net::SockAddr{vip(2), 6000};
+  lst.state = ckpt::ConnState::LISTENER;
+  m2.entries.push_back(lst);
+  m2.entries.push_back(conn_entry(7, b, a, 200, 200, 100));
+
+  auto plan = build_restart_plan({m1, m2});
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  const auto& e1 = plan.value().pod_meta[vip(1)].entries[0];
+  const auto& e2 = plan.value().pod_meta[vip(2)].entries[1];
+  // p2's endpoint shares its port with the listener → must accept.
+  EXPECT_EQ(e2.role, ckpt::PeerRole::ACCEPT);
+  EXPECT_EQ(e1.role, ckpt::PeerRole::CONNECT);
+}
+
+TEST(Schedule, ComputesOverlapDiscard) {
+  // Peer received up to 250 but our acked is only 200: the first 50
+  // bytes of our send queue are duplicates (recv₁ ≥ acked₂ invariant).
+  net::SockAddr a{vip(1), 40000}, b{vip(2), 6000};
+  ckpt::NetMeta m1, m2;
+  m1.pod_vip = vip(1);
+  m2.pod_vip = vip(2);
+  m1.entries.push_back(conn_entry(5, a, b, /*sent*/ 300, /*acked*/ 200,
+                                  /*recv*/ 700));
+  m2.entries.push_back(conn_entry(7, b, a, /*sent*/ 700, /*acked*/ 700,
+                                  /*recv*/ 250));
+  auto plan = build_restart_plan({m1, m2});
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().pod_meta[vip(1)].entries[0].discard_send, 50u);
+  EXPECT_EQ(plan.value().pod_meta[vip(2)].entries[0].discard_send, 0u);
+}
+
+TEST(Schedule, ExternalConnectionRejected) {
+  ckpt::NetMeta m1;
+  m1.pod_vip = vip(1);
+  m1.entries.push_back(conn_entry(5, net::SockAddr{vip(1), 40000},
+                                  net::SockAddr{net::IpAddr(8, 8, 8, 8), 53},
+                                  0, 0, 0));
+  EXPECT_EQ(build_restart_plan({m1}).err(), Err::NO_ENT);
+}
+
+TEST(Schedule, ConnectingEntriesNeedNoPeer) {
+  ckpt::NetMeta m1;
+  m1.pod_vip = vip(1);
+  ckpt::NetMetaEntry e = conn_entry(5, net::SockAddr{vip(1), 40000},
+                                    net::SockAddr{vip(9), 6000}, 0, 0, 0);
+  e.state = ckpt::ConnState::CONNECTING;
+  m1.entries.push_back(e);
+  auto plan = build_restart_plan({m1});
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().pod_meta[vip(1)].entries[0].role,
+            ckpt::PeerRole::CONNECT);
+}
+
+TEST(Schedule, ClosedEntriesNeedNoPeer) {
+  ckpt::NetMeta m1;
+  m1.pod_vip = vip(1);
+  ckpt::NetMetaEntry e = conn_entry(5, net::SockAddr{vip(1), 40000},
+                                    net::SockAddr{vip(9), 6000}, 0, 0, 0);
+  e.state = ckpt::ConnState::CLOSED;
+  m1.entries.push_back(e);
+  EXPECT_TRUE(build_restart_plan({m1}).is_ok());
+}
+
+TEST(Schedule, ArbitraryRolesAreDeterministicAndOpposite) {
+  net::SockAddr a{vip(1), 40000}, b{vip(2), 41000};
+  ckpt::NetMeta m1, m2;
+  m1.pod_vip = vip(1);
+  m2.pod_vip = vip(2);
+  m1.entries.push_back(conn_entry(5, a, b, 0, 0, 0));
+  m2.entries.push_back(conn_entry(7, b, a, 0, 0, 0));
+  auto plan1 = build_restart_plan({m1, m2});
+  auto plan2 = build_restart_plan({m2, m1});  // order-independent
+  ASSERT_TRUE(plan1.is_ok());
+  ASSERT_TRUE(plan2.is_ok());
+  auto r1a = plan1.value().pod_meta[vip(1)].entries[0].role;
+  auto r1b = plan1.value().pod_meta[vip(2)].entries[0].role;
+  EXPECT_NE(r1a, r1b);
+  EXPECT_EQ(r1a, plan2.value().pod_meta[vip(1)].entries[0].role);
+}
+
+}  // namespace
+}  // namespace zapc::core

@@ -1,0 +1,364 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold
+// across protocol parameters, cluster sizes, loss rates, and payload
+// shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/netckpt.h"
+#include "core/schedule.h"
+#include "net/stack.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+#include "os/cluster.h"
+#include "pod/pod.h"
+#include "tests/guest_programs.h"
+#include "tests/helpers.h"
+#include "util/rng.h"
+
+namespace zapc {
+namespace {
+
+using test::EchoClient;
+using test::EchoServer;
+using test::TestNet;
+using test::pattern_bytes;
+
+// ---- TCP integrity across loss rates and payload sizes --------------------
+
+class TcpLossSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(TcpLossSweep, TransferIsByteExact) {
+  auto [loss, bytes] = GetParam();
+  TestNet net(50 * sim::kMicrosecond, loss, /*seed=*/13);
+  net::Stack a(net.engine, net::IpAddr(10, 0, 0, 1), "A");
+  net::Stack b(net.engine, net::IpAddr(10, 0, 0, 2), "B");
+  net.add(a);
+  net.add(b);
+
+  net::SockId lst = b.sys_socket(net::Proto::TCP).value();
+  ASSERT_TRUE(b.sys_bind(lst, net::SockAddr{net::kAnyAddr, 7000}).is_ok());
+  ASSERT_TRUE(b.sys_listen(lst, 4).is_ok());
+  net::SockId cli = a.sys_socket(net::Proto::TCP).value();
+  (void)a.sys_connect(cli, net::SockAddr{b.vip(), 7000});
+  Result<net::SockId> srv(Err::WOULD_BLOCK);
+  for (int i = 0; i < 2000 && !srv.is_ok(); ++i) {
+    net.step_for(10 * sim::kMillisecond);
+    srv = b.sys_accept(lst, nullptr);
+  }
+  ASSERT_TRUE(srv.is_ok());
+
+  Bytes data = pattern_bytes(bytes, static_cast<u8>(bytes & 0xFF));
+  std::size_t sent = 0;
+  Bytes got;
+  for (int iter = 0; iter < 60000 && got.size() < bytes; ++iter) {
+    if (sent < bytes) {
+      Bytes chunk(data.begin() + static_cast<long>(sent), data.end());
+      auto w = a.sys_send(cli, chunk, 0);
+      if (w.is_ok()) sent += w.value();
+    }
+    net.step_for(5 * sim::kMillisecond);
+    while (true) {
+      auto r = b.sys_recv(srv.value(), 65536, 0);
+      if (!r.is_ok() || r.value().eof) break;
+      append_bytes(got, r.value().data);
+    }
+  }
+  EXPECT_EQ(got, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossAndSize, TcpLossSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.02, 0.08),
+                       ::testing::Values(std::size_t{1024},
+                                         std::size_t{64 * 1024},
+                                         std::size_t{512 * 1024})));
+
+// ---- PCB invariant under random traffic ------------------------------------
+
+class PcbInvariantSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PcbInvariantSweep, RecvNeverBelowPeerAcked) {
+  // Paper §5 invariant: recv₁ ≥ acked₂ at every instant, for arbitrary
+  // interleavings of sends, reads and delays.
+  Rng rng(GetParam());
+  TestNet net(50 * sim::kMicrosecond, 0.03, GetParam());
+  net::Stack a(net.engine, net::IpAddr(10, 0, 0, 1), "A");
+  net::Stack b(net.engine, net::IpAddr(10, 0, 0, 2), "B");
+  net.add(a);
+  net.add(b);
+  net::SockId lst = b.sys_socket(net::Proto::TCP).value();
+  ASSERT_TRUE(b.sys_bind(lst, net::SockAddr{net::kAnyAddr, 7000}).is_ok());
+  ASSERT_TRUE(b.sys_listen(lst, 4).is_ok());
+  net::SockId cli = a.sys_socket(net::Proto::TCP).value();
+  (void)a.sys_connect(cli, net::SockAddr{b.vip(), 7000});
+  Result<net::SockId> srv(Err::WOULD_BLOCK);
+  for (int i = 0; i < 2000 && !srv.is_ok(); ++i) {
+    net.step_for(10 * sim::kMillisecond);
+    srv = b.sys_accept(lst, nullptr);
+  }
+  ASSERT_TRUE(srv.is_ok());
+
+  for (int round = 0; round < 300; ++round) {
+    switch (rng.below(4)) {
+      case 0: {  // a -> b
+        (void)a.sys_send(cli, pattern_bytes(rng.below(4000) + 1), 0);
+        break;
+      }
+      case 1: {  // b -> a
+        (void)b.sys_send(srv.value(), pattern_bytes(rng.below(4000) + 1),
+                         0);
+        break;
+      }
+      case 2:
+        (void)b.sys_recv(srv.value(), rng.below(8000) + 1, 0);
+        break;
+      default:
+        (void)a.sys_recv(cli, rng.below(8000) + 1, 0);
+        break;
+    }
+    net.step_for(rng.below(3) * sim::kMillisecond);
+
+    net::TcpSocket* sa = a.find_tcp(cli);
+    net::TcpSocket* sb = b.find_tcp(srv.value());
+    ASSERT_TRUE(net::seq_ge(sb->pcb_recv(), sa->pcb_acked()))
+        << "round " << round;
+    ASSERT_TRUE(net::seq_ge(sa->pcb_recv(), sb->pcb_acked()))
+        << "round " << round;
+    ASSERT_TRUE(net::seq_ge(sa->pcb_sent(), sa->pcb_acked()));
+    ASSERT_TRUE(net::seq_ge(sb->pcb_sent(), sb->pcb_acked()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcbInvariantSweep,
+                         ::testing::Values(11u, 23u, 47u, 91u));
+
+// ---- Checkpoint non-destructiveness across queue shapes ---------------------
+
+struct QueueShape {
+  std::size_t message_bytes;
+  int messages;
+  bool with_urgent;
+};
+
+class NetCkptSweep : public ::testing::TestWithParam<QueueShape> {};
+
+TEST_P(NetCkptSweep, SaveThenReadBackIsIdentical) {
+  const QueueShape shape = GetParam();
+  os::Cluster cl;
+  os::Node& n1 = cl.add_node("n1");
+  os::Node& n2 = cl.add_node("n2");
+  pod::Pod p1(n1, net::IpAddr(10, 77, 0, 1), "p1");
+  pod::Pod p2(n2, net::IpAddr(10, 77, 0, 2), "p2");
+
+  net::Stack& s2 = p2.stack();
+  net::SockId lst = s2.sys_socket(net::Proto::TCP).value();
+  ASSERT_TRUE(s2.sys_bind(lst, net::SockAddr{net::kAnyAddr, 6000}).is_ok());
+  ASSERT_TRUE(s2.sys_listen(lst, 8).is_ok());
+  net::Stack& s1 = p1.stack();
+  net::SockId cli = s1.sys_socket(net::Proto::TCP).value();
+  (void)s1.sys_connect(cli, net::SockAddr{net::IpAddr(10, 77, 0, 2), 6000});
+  cl.run_for(10 * sim::kMillisecond);
+  auto srv = s2.sys_accept(lst, nullptr);
+  ASSERT_TRUE(srv.is_ok());
+
+  Bytes expected;
+  for (int m = 0; m < shape.messages; ++m) {
+    Bytes msg = pattern_bytes(shape.message_bytes, static_cast<u8>(m));
+    ASSERT_TRUE(s1.sys_send(cli, msg, 0).is_ok());
+    append_bytes(expected, msg);
+    cl.run_for(5 * sim::kMillisecond);
+  }
+  if (shape.with_urgent) {
+    ASSERT_TRUE(s1.sys_send(cli, Bytes{'!'}, net::MSG_OOB).is_ok());
+    cl.run_for(5 * sim::kMillisecond);
+  }
+
+  // Checkpoint twice in a row (the second must see the alternate queue).
+  for (int round = 0; round < 2; ++round) {
+    ckpt::NetMeta meta;
+    std::vector<ckpt::SocketImage> socks;
+    ASSERT_TRUE(core::NetCheckpoint::save(p2, meta, socks).is_ok());
+    std::size_t saved = 0;
+    for (const auto& s : socks) {
+      if (s.old_id != srv.value()) continue;
+      for (const auto& item : s.recv_queue) {
+        if (!item.oob) saved += item.data.size();
+      }
+    }
+    EXPECT_EQ(saved, expected.size()) << "round " << round;
+  }
+
+  // The application still reads exactly the original stream.
+  Bytes got;
+  while (got.size() < expected.size()) {
+    auto r = s2.sys_recv(srv.value(), 65536, 0);
+    ASSERT_TRUE(r.is_ok());
+    append_bytes(got, r.value().data);
+  }
+  EXPECT_EQ(got, expected);
+  if (shape.with_urgent) {
+    auto oob = s2.sys_recv(srv.value(), 1, net::MSG_OOB);
+    ASSERT_TRUE(oob.is_ok());
+    EXPECT_EQ(oob.value().data, Bytes{'!'});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NetCkptSweep,
+    ::testing::Values(QueueShape{64, 1, false}, QueueShape{64, 1, true},
+                      QueueShape{1500, 8, false},
+                      QueueShape{1500, 8, true},
+                      QueueShape{32 * 1024, 4, false},
+                      QueueShape{100, 0, true}));
+
+// ---- Echo application across cluster sizes ----------------------------------
+
+class EchoScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EchoScaleSweep, ManyPairsComplete) {
+  const int pairs = GetParam();
+  os::Cluster cl;
+  std::vector<std::unique_ptr<pod::Pod>> pods;
+  std::vector<std::pair<pod::Pod*, i32>> clients;
+  for (int i = 0; i < pairs; ++i) {
+    os::Node& ns = cl.add_node("s" + std::to_string(i));
+    os::Node& nc = cl.add_node("c" + std::to_string(i));
+    auto vip_s = net::IpAddr(10, 80, static_cast<u8>(i), 1);
+    auto vip_c = net::IpAddr(10, 80, static_cast<u8>(i), 2);
+    pods.push_back(std::make_unique<pod::Pod>(ns, vip_s, "s"));
+    pods.back()->spawn(std::make_unique<EchoServer>(5000));
+    pods.push_back(std::make_unique<pod::Pod>(nc, vip_c, "c"));
+    i32 pid = pods.back()->spawn(std::make_unique<EchoClient>(
+        net::SockAddr{vip_s, 5000}, 200000));
+    clients.emplace_back(pods.back().get(), pid);
+  }
+  cl.run_for(30 * sim::kSecond);
+  for (auto& [pod, pid] : clients) {
+    os::Process* p = pod->find_process(pid);
+    ASSERT_EQ(p->state(), os::ProcState::EXITED);
+    EXPECT_EQ(p->exit_code(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, EchoScaleSweep, ::testing::Values(1, 3, 6));
+
+// ---- Restart-plan properties over random topologies --------------------------
+
+class ScheduleSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ScheduleSweep, RolesAlwaysOppositeAndDiscardsMatchOverlap) {
+  Rng rng(GetParam());
+  const int pods = static_cast<int>(rng.below(6)) + 2;
+  std::vector<ckpt::NetMeta> metas(static_cast<std::size_t>(pods));
+  for (int i = 0; i < pods; ++i) {
+    metas[static_cast<std::size_t>(i)].pod_vip =
+        net::IpAddr(10, 77, 0, static_cast<u8>(i + 1));
+  }
+  // Random connections with consistent endpoint PCBs.
+  u32 sock_id = 100;
+  int conns = static_cast<int>(rng.below(10)) + 1;
+  for (int c = 0; c < conns; ++c) {
+    int x = static_cast<int>(rng.below(static_cast<u64>(pods)));
+    int y = static_cast<int>(rng.below(static_cast<u64>(pods)));
+    if (x == y) continue;
+    net::SockAddr ax{metas[static_cast<std::size_t>(x)].pod_vip,
+                     static_cast<u16>(30000 + c * 2)};
+    net::SockAddr ay{metas[static_cast<std::size_t>(y)].pod_vip,
+                     static_cast<u16>(30001 + c * 2)};
+    u32 base_x = rng.next_u32(), base_y = rng.next_u32();
+    u32 sent_x = base_x + static_cast<u32>(rng.below(10000));
+    u32 acked_x = base_x + static_cast<u32>(rng.below(5000));
+    // Peer received at least what x saw acked (the invariant).
+    u32 recv_y = acked_x + static_cast<u32>(rng.below(3000));
+
+    ckpt::NetMetaEntry ex;
+    ex.sock = sock_id++;
+    ex.source = ax;
+    ex.target = ay;
+    ex.state = ckpt::ConnState::FULL_DUPLEX;
+    ex.pcb_sent = sent_x;
+    ex.pcb_acked = acked_x;
+    ex.pcb_recv = base_y;
+    ckpt::NetMetaEntry ey;
+    ey.sock = sock_id++;
+    ey.source = ay;
+    ey.target = ax;
+    ey.state = ckpt::ConnState::FULL_DUPLEX;
+    ey.pcb_sent = base_y;
+    ey.pcb_acked = base_y;
+    ey.pcb_recv = recv_y;
+    metas[static_cast<std::size_t>(x)].entries.push_back(ex);
+    metas[static_cast<std::size_t>(y)].entries.push_back(ey);
+  }
+
+  auto plan = core::build_restart_plan(metas);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+
+  // Check: paired roles are opposite and discards equal the overlap.
+  for (auto& [vip, meta] : plan.value().pod_meta) {
+    for (auto& e : meta.entries) {
+      if (e.state != ckpt::ConnState::FULL_DUPLEX) continue;
+      const ckpt::NetMetaEntry* peer = nullptr;
+      for (auto& [vip2, meta2] : plan.value().pod_meta) {
+        for (auto& f : meta2.entries) {
+          if (f.source == e.target && f.target == e.source) peer = &f;
+        }
+      }
+      ASSERT_NE(peer, nullptr);
+      EXPECT_NE(e.role, peer->role);
+      EXPECT_EQ(e.discard_send, peer->pcb_recv - e.pcb_acked);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---- UDP datagram boundaries across sizes -------------------------------------
+
+class UdpSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UdpSizeSweep, BoundariesSurviveTransferAndCheckpoint) {
+  const std::size_t size = GetParam();
+  os::Cluster cl;
+  os::Node& n1 = cl.add_node("n1");
+  os::Node& n2 = cl.add_node("n2");
+  pod::Pod p1(n1, net::IpAddr(10, 77, 0, 1), "p1");
+  pod::Pod p2(n2, net::IpAddr(10, 77, 0, 2), "p2");
+
+  net::SockId rx = p2.stack().sys_socket(net::Proto::UDP).value();
+  ASSERT_TRUE(
+      p2.stack().sys_bind(rx, net::SockAddr{net::kAnyAddr, 9000}).is_ok());
+  ASSERT_TRUE(
+      p2.stack().sys_setsockopt(rx, net::SockOpt::SO_RCVBUF, 1 << 20).is_ok());
+  net::SockId tx = p1.stack().sys_socket(net::Proto::UDP).value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(p1.stack()
+                    .sys_sendto(tx, pattern_bytes(size, static_cast<u8>(i)),
+                                0, net::SockAddr{p2.vip(), 9000})
+                    .is_ok());
+  }
+  cl.run_for(20 * sim::kMillisecond);
+
+  ckpt::NetMeta meta;
+  std::vector<ckpt::SocketImage> socks;
+  ASSERT_TRUE(core::NetCheckpoint::save(p2, meta, socks).is_ok());
+
+  for (int i = 0; i < 5; ++i) {
+    auto r = p2.stack().sys_recv(rx, 1 << 20, 0);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, pattern_bytes(size, static_cast<u8>(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UdpSizeSweep,
+                         ::testing::Values(std::size_t{1},
+                                           std::size_t{512},
+                                           std::size_t{1472},
+                                           std::size_t{16000},
+                                           std::size_t{65507}));
+
+}  // namespace
+}  // namespace zapc

@@ -1,0 +1,241 @@
+// Robustness / fuzz-style property tests: randomized images always
+// either decode exactly or fail cleanly (never crash, never half-parse),
+// the TCP stack tolerates reordering jitter, and the SAN behaves like a
+// store under random operation sequences.
+#include <gtest/gtest.h>
+
+#include "ckpt/image.h"
+#include "net/stack.h"
+#include "net/tcp.h"
+#include "os/san.h"
+#include "tests/helpers.h"
+#include "util/rng.h"
+
+namespace zapc {
+namespace {
+
+using test::TestNet;
+using test::pattern_bytes;
+
+ckpt::PodImage random_image(Rng& rng) {
+  ckpt::PodImage img;
+  img.header.pod_name = "fuzz-" + std::to_string(rng.below(1000));
+  img.header.vip = net::IpAddr(static_cast<u32>(rng.next_u32()));
+  img.header.next_vpid = static_cast<i32>(rng.below(100)) + 1;
+  img.header.ckpt_virtual_time = rng.next_u64() >> 20;
+  img.header.time_delta = static_cast<i64>(rng.below(1 << 20)) - (1 << 19);
+
+  u64 nsock = rng.below(4);
+  for (u64 s = 0; s < nsock; ++s) {
+    ckpt::SocketImage sock;
+    sock.old_id = static_cast<u32>(rng.below(100) + 1);
+    sock.proto = rng.chance(0.5) ? net::Proto::TCP : net::Proto::UDP;
+    for (auto& p : sock.params) p = static_cast<i64>(rng.below(1 << 20));
+    sock.local = net::SockAddr{img.header.vip,
+                               static_cast<u16>(rng.below(65536))};
+    sock.remote = net::SockAddr{net::IpAddr(rng.next_u32()),
+                                static_cast<u16>(rng.below(65536))};
+    sock.connected = rng.chance(0.6);
+    sock.shut_wr = rng.chance(0.2);
+    sock.pcb_sent = rng.next_u32();
+    sock.pcb_acked = sock.pcb_sent - static_cast<u32>(rng.below(5000));
+    sock.pcb_recv = rng.next_u32();
+    u64 nitems = rng.below(3);
+    for (u64 i = 0; i < nitems; ++i) {
+      sock.recv_queue.push_back(ckpt::SavedRecvItem{
+          pattern_bytes(rng.below(2000), static_cast<u8>(i)), sock.remote,
+          rng.chance(0.1)});
+    }
+    sock.send_queue = pattern_bytes(rng.below(3000));
+    img.sockets.push_back(std::move(sock));
+
+    ckpt::NetMetaEntry e;
+    e.sock = img.sockets.back().old_id;
+    e.source = img.sockets.back().local;
+    e.target = img.sockets.back().remote;
+    e.state = static_cast<ckpt::ConnState>(rng.below(5));
+    img.meta.entries.push_back(e);
+  }
+  img.meta.pod_vip = img.header.vip;
+
+  u64 nproc = rng.below(3) + 1;
+  for (u64 p = 0; p < nproc; ++p) {
+    ckpt::ProcessImage proc;
+    proc.vpid = static_cast<i32>(p) + 1;
+    proc.kind = "fuzz.kind";
+    proc.exited = rng.chance(0.2);
+    proc.exit_code = static_cast<i32>(rng.below(256));
+    proc.next_fd = static_cast<int>(rng.below(64)) + 3;
+    proc.program_state = pattern_bytes(rng.below(500));
+    u64 nfds = rng.below(4);
+    for (u64 f = 0; f < nfds; ++f) {
+      proc.fds[static_cast<int>(f) + 3] =
+          static_cast<net::SockId>(rng.below(100) + 1);
+    }
+    u64 nreg = rng.below(3);
+    for (u64 r = 0; r < nreg; ++r) {
+      proc.regions["r" + std::to_string(r)] =
+          pattern_bytes(rng.below(10000));
+    }
+    proc.timer_remaining[static_cast<u32>(rng.below(10))] =
+        static_cast<i64>(rng.below(1 << 20));
+    img.processes.push_back(std::move(proc));
+  }
+  if (rng.chance(0.3)) {
+    img.has_gm_device = true;
+    img.gm_state = pattern_bytes(rng.below(1000));
+  }
+  return img;
+}
+
+bool images_equal(const ckpt::PodImage& a, const ckpt::PodImage& b) {
+  // Structural comparison through re-encoding (the format is
+  // deterministic).
+  return ckpt::encode_image(a) == ckpt::encode_image(b);
+}
+
+TEST(Robustness, RandomImagesRoundTripExactly) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    ckpt::PodImage img = random_image(rng);
+    Bytes data = ckpt::encode_image(img);
+    auto back = ckpt::decode_image(data);
+    ASSERT_TRUE(back.is_ok()) << "trial " << trial << ": "
+                              << back.status().to_string();
+    EXPECT_TRUE(images_equal(img, back.value())) << "trial " << trial;
+  }
+}
+
+TEST(Robustness, BitflippedImagesNeverCrashAndUsuallyReject) {
+  Rng rng(777);
+  int rejected = 0, trials = 0;
+  for (int t = 0; t < 60; ++t) {
+    ckpt::PodImage img = random_image(rng);
+    Bytes data = ckpt::encode_image(img);
+    if (data.size() < 8) continue;
+    Bytes mutated = data;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<u8>(1u << rng.below(8));
+    auto r = ckpt::decode_image(mutated);  // must not crash or UB
+    ++trials;
+    if (!r.is_ok()) ++rejected;
+  }
+  // Payload flips are always caught by the per-record CRC; only flips in
+  // already-validated framing slack could slip through, and there is no
+  // such slack — every byte is covered.
+  EXPECT_EQ(rejected, trials);
+}
+
+TEST(Robustness, TruncatedImagesAlwaysReject) {
+  Rng rng(31337);
+  ckpt::PodImage img = random_image(rng);
+  Bytes data = ckpt::encode_image(img);
+  for (std::size_t cut = 1; cut < data.size();
+       cut += std::max<std::size_t>(1, data.size() / 37)) {
+    Bytes truncated(data.begin(), data.begin() + static_cast<long>(cut));
+    auto r = ckpt::decode_image(truncated);
+    EXPECT_FALSE(r.is_ok()) << "cut at " << cut;
+  }
+}
+
+TEST(Robustness, RandomGarbageNeverCrashes) {
+  Rng rng(999);
+  for (int t = 0; t < 100; ++t) {
+    Bytes garbage(rng.below(4000));
+    for (auto& b : garbage) b = static_cast<u8>(rng.next_u32());
+    auto r = ckpt::decode_image(garbage);
+    EXPECT_FALSE(r.is_ok());
+    auto m = ckpt::decode_meta(garbage);
+    (void)m;  // any outcome is fine as long as it's defined behaviour
+  }
+}
+
+TEST(Robustness, TcpSurvivesReorderingJitter) {
+  // Jitter larger than the base latency reorders packets aggressively;
+  // the out-of-order queue must reassemble the exact stream.
+  TestNet net(20 * sim::kMicrosecond, 0.0, 5);
+  // TestNet has fixed latency; emulate jitter by a lossy+delayed second
+  // path: instead, use the Fabric directly via a cluster-less trick —
+  // simpler: run the transfer with random extra delays injected by
+  // resending from a shim. Here we use loss + retransmission as the
+  // reordering source (retransmitted segments interleave with later
+  // ones).
+  net.set_loss(0.12);
+  net::Stack a(net.engine, net::IpAddr(10, 0, 0, 1), "A");
+  net::Stack b(net.engine, net::IpAddr(10, 0, 0, 2), "B");
+  net.add(a);
+  net.add(b);
+  net::SockId lst = b.sys_socket(net::Proto::TCP).value();
+  ASSERT_TRUE(b.sys_bind(lst, net::SockAddr{net::kAnyAddr, 7000}).is_ok());
+  ASSERT_TRUE(b.sys_listen(lst, 4).is_ok());
+  net::SockId cli = a.sys_socket(net::Proto::TCP).value();
+  (void)a.sys_connect(cli, net::SockAddr{b.vip(), 7000});
+  Result<net::SockId> srv(Err::WOULD_BLOCK);
+  for (int i = 0; i < 3000 && !srv.is_ok(); ++i) {
+    net.step_for(10 * sim::kMillisecond);
+    srv = b.sys_accept(lst, nullptr);
+  }
+  ASSERT_TRUE(srv.is_ok());
+
+  Bytes data = pattern_bytes(256 * 1024, 77);
+  std::size_t sent = 0;
+  Bytes got;
+  for (int iter = 0; iter < 60000 && got.size() < data.size(); ++iter) {
+    if (sent < data.size()) {
+      Bytes chunk(data.begin() + static_cast<long>(sent), data.end());
+      auto w = a.sys_send(cli, chunk, 0);
+      if (w.is_ok()) sent += w.value();
+    }
+    net.step_for(5 * sim::kMillisecond);
+    while (true) {
+      auto r = b.sys_recv(srv.value(), 65536, 0);
+      if (!r.is_ok() || r.value().eof) break;
+      append_bytes(got, r.value().data);
+    }
+  }
+  EXPECT_EQ(got, data);
+  // Reassembly actually happened out of order at least once.
+  EXPECT_GT(net.packets_dropped(), 0u);
+}
+
+TEST(Robustness, SanRandomOpsBehaveLikeAMap) {
+  Rng rng(2020);
+  os::VirtualSAN san;
+  std::map<std::string, Bytes> model;
+  for (int op = 0; op < 2000; ++op) {
+    std::string path = "p" + std::to_string(rng.below(30));
+    switch (rng.below(4)) {
+      case 0: {
+        Bytes data = pattern_bytes(rng.below(100));
+        san.write(path, data);
+        model[path] = data;
+        break;
+      }
+      case 1: {
+        Bytes data = pattern_bytes(rng.below(50), 9);
+        san.append(path, data);
+        append_bytes(model[path], data);
+        break;
+      }
+      case 2: {
+        bool se = san.remove(path).is_ok();
+        bool me = model.erase(path) > 0;
+        ASSERT_EQ(se, me);
+        break;
+      }
+      default: {
+        auto r = san.read(path);
+        auto it = model.find(path);
+        ASSERT_EQ(r.is_ok(), it != model.end());
+        if (r.is_ok()) {
+          ASSERT_EQ(r.value(), it->second);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(san.object_count(), model.size());
+}
+
+}  // namespace
+}  // namespace zapc

@@ -1,0 +1,102 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace zapc::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameTimeIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule(10, [&, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  EventId id = e.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // second cancel is a no-op
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine e;
+  int count = 0;
+  e.schedule(10, [&] { ++count; });
+  e.schedule(100, [&] { ++count; });
+  e.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.now(), 50u);
+  e.run_until(200);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.now(), 200u);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  std::vector<Time> times;
+  e.schedule(10, [&] {
+    times.push_back(e.now());
+    e.schedule(5, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  EXPECT_EQ(times, (std::vector<Time>{10, 15}));
+}
+
+TEST(Engine, ScheduleAtPastClampsToNow) {
+  Engine e;
+  e.schedule(100, [] {});
+  e.run();
+  Time fired = 0;
+  e.schedule_at(5, [&] { fired = e.now(); });
+  e.run();
+  EXPECT_EQ(fired, 100u);
+}
+
+TEST(Engine, PendingCountExcludesCancelled) {
+  Engine e;
+  EventId a = e.schedule(10, [] {});
+  e.schedule(20, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, MaxEventsBoundsRun) {
+  Engine e;
+  int count = 0;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] {
+    ++count;
+    e.schedule(1, tick);
+  };
+  e.schedule(1, tick);
+  u64 executed = e.run(100);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_EQ(count, 100);
+}
+
+}  // namespace
+}  // namespace zapc::sim

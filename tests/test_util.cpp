@@ -1,0 +1,158 @@
+// Unit tests for util: serialization, records, crc32, status, rng.
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace zapc {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.err(), Err::OK);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s(Err::WOULD_BLOCK, "queue empty");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "WOULD_BLOCK: queue empty");
+}
+
+TEST(Result, ValueRoundTrip) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, ErrorPropagates) {
+  Result<int> r(Err::NO_ENT, "missing");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.err(), Err::NO_ENT);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(EncoderDecoder, PrimitivesRoundTrip) {
+  Encoder e;
+  e.put_u8(0xAB);
+  e.put_u16(0xBEEF);
+  e.put_u32(0xDEADBEEF);
+  e.put_u64(0x0123456789ABCDEFull);
+  e.put_i32(-123456);
+  e.put_i64(-9876543210LL);
+  e.put_bool(true);
+  e.put_f64(3.14159265358979);
+  e.put_string("hello");
+  e.put_bytes(Bytes{1, 2, 3});
+
+  Decoder d(e.bytes());
+  EXPECT_EQ(d.u8_().value(), 0xAB);
+  EXPECT_EQ(d.u16_().value(), 0xBEEF);
+  EXPECT_EQ(d.u32_().value(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64_().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(d.i32_().value(), -123456);
+  EXPECT_EQ(d.i64_().value(), -9876543210LL);
+  EXPECT_TRUE(d.bool_().value());
+  EXPECT_DOUBLE_EQ(d.f64_().value(), 3.14159265358979);
+  EXPECT_EQ(d.string_().value(), "hello");
+  EXPECT_EQ(d.bytes_().value(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(EncoderDecoder, ShortBufferFailsCleanly) {
+  Encoder e;
+  e.put_u16(7);
+  Decoder d(e.bytes());
+  EXPECT_TRUE(d.u32_().err() == Err::PROTO);
+}
+
+TEST(EncoderDecoder, TruncatedStringFails) {
+  Encoder e;
+  e.put_u32(100);  // claims 100 bytes, provides none
+  Decoder d(e.bytes());
+  EXPECT_EQ(d.string_().err(), Err::PROTO);
+}
+
+TEST(Records, WriteReadRoundTrip) {
+  RecordWriter w;
+  Encoder p1;
+  p1.put_string("pod-a");
+  w.write(RecordTag::IMAGE_HEADER, 1, std::move(p1));
+  Encoder p2;
+  p2.put_u32(99);
+  w.write(RecordTag::PROCESS, 2, std::move(p2));
+
+  RecordReader r(w.bytes());
+  auto rec1 = r.next();
+  ASSERT_TRUE(rec1.is_ok());
+  EXPECT_EQ(rec1.value().tag, RecordTag::IMAGE_HEADER);
+  EXPECT_EQ(rec1.value().version, 1);
+  auto rec2 = r.next();
+  ASSERT_TRUE(rec2.is_ok());
+  EXPECT_EQ(rec2.value().tag, RecordTag::PROCESS);
+  Decoder d(rec2.value().payload);
+  EXPECT_EQ(d.u32_().value(), 99u);
+  EXPECT_EQ(r.next().err(), Err::NO_ENT);
+}
+
+TEST(Records, CorruptionDetected) {
+  RecordWriter w;
+  Encoder p;
+  p.put_string("payload data here");
+  w.write(RecordTag::MEM_REGION, 1, std::move(p));
+  Bytes image = w.take();
+  image[image.size() / 2] ^= 0xFF;  // flip a payload bit
+
+  RecordReader r(image);
+  EXPECT_EQ(r.next().err(), Err::PROTO);
+}
+
+TEST(Records, TruncatedImageDetected) {
+  RecordWriter w;
+  Encoder p;
+  p.put_bytes(Bytes(1000, 7));
+  w.write(RecordTag::MEM_REGION, 1, std::move(p));
+  Bytes image = w.take();
+  image.resize(image.size() - 10);
+
+  RecordReader r(image);
+  EXPECT_EQ(r.next().err(), Err::PROTO);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (standard check value).
+  Bytes b{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(b), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(Bytes{}), 0u); }
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    i64 v = r.range(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace zapc
