@@ -167,6 +167,7 @@ double run_ring(int n, Mode mode) {
 }
 
 void run() {
+  JsonEvidence ev("ablation_connectivity");
   print_header(
       "Ablation: connectivity recovery schemes on a ring topology",
       "pods    two-worker(ms)    serial-lucky(ms)    serial-deadly");
@@ -176,11 +177,18 @@ void run() {
     double deadly = run_ring(n, Mode::SERIAL_DEADLY);
     std::printf("%4d %17.1f %19.1f %16s\n", n, two, lucky,
                 deadly < 0 ? "DEADLOCK" : "ok(!)");
+    obs::Json row = obs::Json::object();
+    row["pods"] = n;
+    row["two_worker_ms"] = two;
+    row["serial_lucky_ms"] = lucky;
+    row["serial_deadly_deadlocks"] = deadly < 0;
+    ev.add_row(std::move(row));
   }
   std::printf(
       "\nPaper shape check: the two-worker scheme recovers quickly with\n"
       "no ordering logic; a naive ordered recovery deadlocks when every\n"
       "pod happens to wait on its accept first.\n");
+  ev.write();
 }
 
 }  // namespace

@@ -225,6 +225,7 @@ Outcome migrate(bool redirect) {
 }
 
 void run() {
+  JsonEvidence ev("ablation_redirect");
   print_header(
       "Ablation: send-queue redirect optimization during migration",
       "mode          wire-bytes(MB)   app-verified");
@@ -234,11 +235,21 @@ void run() {
               off.app_ok ? "yes" : "NO");
   std::printf("redirect    %16.1f %14s\n", on.fabric_mb,
               on.app_ok ? "yes" : "NO");
+  auto add = [&](const char* mode, const Outcome& o) {
+    obs::Json row = obs::Json::object();
+    row["mode"] = mode;
+    row["wire_mb"] = o.fabric_mb;
+    row["app_verified"] = o.app_ok;
+    ev.add_row(std::move(row));
+  };
+  add("no_redirect", off);
+  add("redirect", on);
   std::printf(
       "\nPaper shape check: with the redirect, the flooder's multi-MB send\n"
       "queue crosses the network once (straight to the receiving pod's\n"
       "agent) instead of twice, so wire-bytes drop while the application\n"
       "still receives a byte-exact stream.\n");
+  ev.write();
 }
 
 }  // namespace

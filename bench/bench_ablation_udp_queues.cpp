@@ -198,6 +198,7 @@ Outcome run_policy(bool save_queues) {
 }
 
 void run() {
+  JsonEvidence ev("ablation_udp_queues");
   print_header(
       "Ablation: UDP receive-queue policy at checkpoint",
       "policy            recovery(ms)   request-transmissions");
@@ -205,12 +206,22 @@ void run() {
   Outcome drop = run_policy(false);
   std::printf("always-save %16.1f %16u\n", keep.recovery_ms, keep.sends);
   std::printf("drop-queues %16.1f %16u\n", drop.recovery_ms, drop.sends);
+  auto add = [&](const char* policy, const Outcome& o) {
+    obs::Json row = obs::Json::object();
+    row["policy"] = policy;
+    row["recovery_ms"] = o.recovery_ms;
+    row["request_transmissions"] = o.sends;
+    ev.add_row(std::move(row));
+  };
+  add("always_save", keep);
+  add("drop_queues", drop);
   std::printf(
       "\nPaper shape check: saving the queue lets the application consume\n"
       "the pending reply immediately; dropping it forces the app-level\n"
       "timeout (+%ld ms) and a retransmission — the artificial loss the\n"
       "paper's always-save policy avoids.\n",
       static_cast<long>(kAppTimeout / 1000));
+  ev.write();
 }
 
 }  // namespace

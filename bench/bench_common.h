@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,6 +22,8 @@
 #include "apps/ray.h"
 #include "core/agent.h"
 #include "core/manager.h"
+#include "obs/json.h"
+#include "obs/stats.h"
 #include "os/cluster.h"
 
 namespace zapc::bench {
@@ -40,6 +44,11 @@ struct Testbed {
   core::Trace trace;
 
   explicit Testbed(int n, bool dual_cpu = false) {
+    // RAII spans recorded on this testbed's trace stamp from its virtual
+    // clock.  (The Manager/Agent pipeline stamps explicitly and does not
+    // need this.)  The recorder belongs to the Testbed, so no cross-
+    // testbed ownership issue arises when warm-up testbeds die.
+    trace.recorder().set_clock([this] { return cl.now(); });
     mgr_node = &cl.add_node("mgr");
     for (int i = 0; i < n; ++i) {
       os::Node& node =
@@ -203,6 +212,45 @@ inline void print_header(const std::string& title,
   for (std::size_t i = 0; i < title.size(); ++i) std::printf("=");
   std::printf("\n%s\n", columns.c_str());
 }
+
+/// Machine-readable evidence for one bench binary: captures a metrics
+/// baseline at construction, accumulates the bench's result rows, and on
+/// write() emits bench_results/<name>.json in the zapc.obs.v1 schema —
+/// metrics are reported as the delta over this bench's run, so counts
+/// from the process-global registry don't bleed between benches.
+class JsonEvidence {
+ public:
+  explicit JsonEvidence(std::string name) : name_(std::move(name)) {
+    // Register the canonical metric vocabulary up front so every export
+    // carries the full key set (zeros included) and stays diffable.
+    obs::stats::ensure_core_metrics();
+    baseline_ = obs::metrics().snapshot();
+  }
+
+  /// Appends one result row (arbitrary JSON object, typically mirroring
+  /// a printed table line).
+  void add_row(obs::Json row) { rows_.push(std::move(row)); }
+
+  /// Writes bench_results/<name>.json; returns the path.  Optionally
+  /// embeds a span stream (e.g. a Testbed trace's recorder).
+  std::string write(const obs::SpanRecorder* spans = nullptr) {
+    obs::MetricsSnapshot now = obs::metrics().snapshot();
+    obs::Json doc =
+        obs::evidence_json(name_, now.diff_since(baseline_), spans);
+    if (rows_.size() > 0) doc["rows"] = rows_;
+    std::filesystem::create_directories("bench_results");
+    std::string path = "bench_results/" + name_ + ".json";
+    std::ofstream f(path);
+    f << doc.dump(2) << "\n";
+    std::printf("\n[evidence] %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsSnapshot baseline_;
+  obs::Json rows_ = obs::Json::array();
+};
 
 }  // namespace zapc::bench
 

@@ -14,6 +14,7 @@ namespace zapc::bench {
 namespace {
 
 void run() {
+  JsonEvidence ev("fig2_timeline");
   const int n = 4;
   Testbed tb(n);
   apps::JobHandle job = launch_cpi(tb, n);
@@ -58,6 +59,16 @@ void run() {
       "standalone checkpoints overlap the barrier: %s\n",
       static_cast<double>(sync_t - t0) / 1000.0,
       all_meta_before_sync ? "yes" : "NO", overlap ? "yes" : "NO");
+
+  obs::Json row = obs::Json::object();
+  row["nodes"] = n;
+  row["t0_us"] = t0;
+  row["sync_point_ms"] = static_cast<double>(sync_t - t0) / 1000.0;
+  row["all_meta_before_sync"] = all_meta_before_sync;
+  row["standalone_overlaps_barrier"] = overlap;
+  row["total_ms"] = static_cast<double>(report.total_us) / 1000.0;
+  ev.add_row(std::move(row));
+  ev.write(&tb.trace.recorder());
 }
 
 }  // namespace

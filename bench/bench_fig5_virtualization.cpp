@@ -28,6 +28,7 @@ double run_once(const Workload& w, int n, u64 overhead_ns) {
 }
 
 void run() {
+  JsonEvidence ev("fig5_virtualization");
   print_header(
       "Figure 5: application completion times, Base (vanilla) vs ZapC",
       "workload      nodes    base(s)    zapc(s)   overhead%   speedup");
@@ -41,12 +42,21 @@ void run() {
       double speedup = zapc > 0 ? base1 / zapc : 0;
       std::printf("%-12s %6d %10.2f %10.2f %10.2f %9.2fx\n",
                   w.name.c_str(), n, base, zapc, overhead, speedup);
+      obs::Json row = obs::Json::object();
+      row["workload"] = w.name;
+      row["nodes"] = n;
+      row["base_s"] = base;
+      row["zapc_s"] = zapc;
+      row["overhead_pct"] = overhead;
+      row["speedup"] = speedup;
+      ev.add_row(std::move(row));
     }
     std::printf("\n");
   }
   std::printf(
       "Paper shape check: overhead%% should be ~0 (negligible), and the\n"
       "speedup column should scale comparably for Base and ZapC.\n");
+  ev.write();
 }
 
 }  // namespace

@@ -14,6 +14,7 @@ namespace zapc::bench {
 namespace {
 
 void run() {
+  JsonEvidence ev("network_state");
   print_header(
       "Network-state checkpoint/restart (paper Sec. 6.2 text)",
       "workload      nodes  net-ckpt(ms)  ckpt(ms)  net%    "
@@ -28,6 +29,15 @@ void run() {
       std::printf("%-12s %6d %13.2f %9.1f %6.2f %16.1f %12.2f\n",
                   w.name.c_str(), n, s.avg_net_ms, s.avg_total_ms, pct,
                   m.connectivity_ms + m.net_restore_ms, s.avg_net_kb);
+      obs::Json row = obs::Json::object();
+      row["workload"] = w.name;
+      row["nodes"] = n;
+      row["net_ckpt_ms"] = s.avg_net_ms;
+      row["ckpt_ms"] = s.avg_total_ms;
+      row["net_pct"] = pct;
+      row["net_restore_ms"] = m.connectivity_ms + m.net_restore_ms;
+      row["netdata_kb"] = s.avg_net_kb;
+      ev.add_row(std::move(row));
     }
     std::printf("\n");
   }
@@ -35,6 +45,7 @@ void run() {
       "Paper shape check: net-ckpt well under 10 ms and a small fraction\n"
       "of the total; net-restore larger (connection re-establishment) but\n"
       "well under the standalone restore; netdata in KBs.\n");
+  ev.write();
 }
 
 }  // namespace

@@ -1,5 +1,28 @@
 #!/bin/bash
 # Regenerates the full evidence set: every test, then every benchmark.
+# Fails fast and propagates the first non-zero exit code, so CI (and
+# humans) can trust a zero exit to mean "everything ran and passed".
+set -euo pipefail
 cd "$(dirname "$0")"
-ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+ctest_rc=${PIPESTATUS[0]}
+if [ "$ctest_rc" -ne 0 ]; then
+  echo "ctest failed with exit code $ctest_rc" >&2
+  exit "$ctest_rc"
+fi
+
+run_benches() {
+  local b rc
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "== $b =="
+    "$b" || { rc=$?; echo "FAILED ($rc): $b" >&2; return "$rc"; }
+  done
+}
+run_benches 2>&1 | tee bench_output.txt
+bench_rc=${PIPESTATUS[0]}
+if [ "$bench_rc" -ne 0 ]; then
+  exit "$bench_rc"
+fi
+echo "All tests and benches passed; JSON evidence under bench_results/."

@@ -4,6 +4,7 @@
 
 #include "core/netckpt.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace zapc::core {
@@ -216,6 +217,12 @@ void Agent::ckpt_begin(Conn* conn, CheckpointCmd cmd) {
     return;
   }
 
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_root = r->begin_at(op->t_start, "ckpt", who());
+    op->span_suspend =
+        r->begin_at(op->t_start, "ckpt.suspend", who(), op->span_root);
+  }
+
   // Step 1: suspend the pod and block its network.
   trace("1: suspend pod " + op->cmd.pod_name + ", block network");
   pod->suspend();
@@ -236,6 +243,15 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
+  obs::metrics()
+      .histogram("agent.ckpt.suspend_us")
+      .observe(node_.now() - op->t_start);
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(node_.now(), op->span_suspend);
+    op->span_standalone =
+        r->begin_at(node_.now(), "ckpt.standalone", who(), op->span_root);
+  }
+
   op->image.header = ckpt::Standalone::save_header(*pod);
   op->image.processes = ckpt::Standalone::save_processes(*pod);
   u64 bytes = 0;
@@ -244,8 +260,12 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
   }
   sim::Time cost =
       costs_.standalone_ckpt_cost(bytes, op->image.processes.size());
-  after(cost, [this, op] {
+  after(cost, [this, op, cost] {
     if (op->aborted) return;
+    obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
+    if (obs::SpanRecorder* r = rec()) {
+      r->end_at(node_.now(), op->span_standalone);
+    }
     trace("3(early): standalone checkpoint done for " + op->cmd.pod_name);
     ckpt_network_post(op);
   });
@@ -255,6 +275,11 @@ void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
   if (op->aborted) return;
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
+
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_netckpt =
+        r->begin_at(node_.now(), "ckpt.netckpt", who(), op->span_root);
+  }
 
   Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets);
   if (!st) return ckpt_abort(op, st.to_string());
@@ -270,6 +295,10 @@ void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
       costs_.net_ckpt_cost(op->image.sockets.size(), op->queued_bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
+    obs::metrics().histogram("agent.ckpt.netckpt_us").observe(cost);
+    if (obs::SpanRecorder* r = rec()) {
+      r->end_at(node_.now(), op->span_netckpt);
+    }
     trace("2(late): network checkpoint done for " + op->cmd.pod_name);
     MetaReport report;
     report.pod_name = op->cmd.pod_name;
@@ -286,6 +315,15 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
+  obs::metrics()
+      .histogram("agent.ckpt.suspend_us")
+      .observe(node_.now() - op->t_start);
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(node_.now(), op->span_suspend);
+    op->span_netckpt =
+        r->begin_at(node_.now(), "ckpt.netckpt", who(), op->span_root);
+  }
+
   // Step 2: network-state checkpoint (sockets + kernel-bypass device).
   Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets);
   if (!st) return ckpt_abort(op, st.to_string());
@@ -301,6 +339,10 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
       costs_.net_ckpt_cost(op->image.sockets.size(), op->queued_bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
+    obs::metrics().histogram("agent.ckpt.netckpt_us").observe(cost);
+    if (obs::SpanRecorder* r = rec()) {
+      r->end_at(node_.now(), op->span_netckpt);
+    }
     // Step 2a: report meta-data to the Manager, then immediately proceed
     // with the standalone checkpoint (the barrier overlaps it).
     trace("2: network checkpoint done for " + op->cmd.pod_name + " (" +
@@ -319,6 +361,11 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
   if (op->aborted) return;
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
+
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_standalone =
+        r->begin_at(node_.now(), "ckpt.standalone", who(), op->span_root);
+  }
 
   // Step 3: standalone pod checkpoint (Zap substrate).
   op->image.header = ckpt::Standalone::save_header(*pod);
@@ -358,8 +405,9 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
   u64 image_bytes = encoded.size();
   sim::Time cost = costs_.standalone_ckpt_cost(image_bytes,
                                                op->image.processes.size());
-  after(cost, [this, op, encoded = std::move(encoded)]() mutable {
+  after(cost, [this, op, cost, encoded = std::move(encoded)]() mutable {
     if (op->aborted) return;
+    obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
     trace("3: standalone checkpoint done for " + op->cmd.pod_name + " (" +
           std::to_string(encoded.size()) + " bytes)");
     op->encoded_image = std::move(encoded);
@@ -369,6 +417,12 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
 
 void Agent::ckpt_standalone_done(const std::shared_ptr<CkptOp>& op) {
   op->standalone_done = true;
+  op->t_standalone_done = node_.now();
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(node_.now(), op->span_standalone);  // no-op if already closed
+    op->span_barrier =
+        r->begin_at(node_.now(), "ckpt.barrier", who(), op->span_root);
+  }
   deliver_image(op);
   ckpt_maybe_finish(op);
 }
@@ -430,6 +484,14 @@ void Agent::ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op) {
   if (!op->standalone_done || !op->continue_received) return;
   op->finished = true;
 
+  obs::metrics()
+      .histogram("agent.ckpt.barrier_wait_us")
+      .observe(node_.now() - op->t_standalone_done);
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(node_.now(), op->span_barrier);
+    r->end_at(node_.now(), op->span_root);
+  }
+
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod != nullptr) {
     if (op->cmd.fs_snapshot) {
@@ -464,6 +526,14 @@ void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
   op->finished = true;
   ZLOG_WARN("agent@" << node_.name() << ": checkpoint of "
                      << op->cmd.pod_name << " aborted: " << why);
+  if (obs::SpanRecorder* r = rec()) {
+    // Close whichever phases were open at abort time (no-ops otherwise).
+    r->end_at(node_.now(), op->span_suspend);
+    r->end_at(node_.now(), op->span_netckpt);
+    r->end_at(node_.now(), op->span_standalone);
+    r->end_at(node_.now(), op->span_barrier);
+    r->end_at(node_.now(), op->span_root);
+  }
   trace("abort: " + why);
   // Gracefully resume the application (paper §4).
   pod::Pod* pod = find_pod(op->cmd.pod_name);
@@ -488,6 +558,9 @@ void Agent::restart_begin(Conn* conn, RestartCmd cmd) {
   op->mgr = conn->ch.get();
   op->t_start = node_.now();
   conn->restart = op;
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_root = r->begin_at(op->t_start, "restart", who());
+  }
 
   // Apply the virtual→real location updates ("substituting the
   // destination network addresses in place of the original addresses").
@@ -543,6 +616,10 @@ void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
     if (referenced.count(s.old_id) == 0) unreferenced.insert(s.old_id);
   }
 
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_connectivity = r->begin_at(node_.now(), "restart.connectivity",
+                                        who(), op->span_root);
+  }
   op->connectivity = std::make_unique<ConnectivityRestore>(
       *op->pod, op->cmd.meta, op->image.sockets, std::move(unreferenced),
       30 * sim::kSecond,
@@ -557,6 +634,12 @@ void Agent::restart_connectivity_done(const std::shared_ptr<RestartOp>& op,
   if (!st) return restart_finish(op, st);
   op->socks = std::move(map);
   op->t_conn_done = node_.now();
+  obs::metrics()
+      .histogram("agent.restart.connectivity_us")
+      .observe(op->t_conn_done - op->t_start);
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(op->t_conn_done, op->span_connectivity);
+  }
   trace("2: connectivity recovered for " + op->cmd.pod_name);
   restart_wait_redirects(op, /*waited=*/0);
 }
@@ -597,6 +680,10 @@ void Agent::restart_wait_redirects(const std::shared_ptr<RestartOp>& op,
 }
 
 void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_netstate =
+        r->begin_at(node_.now(), "restart.netstate", who(), op->span_root);
+  }
   // Step 3: restore the network state of every socket (and the
   // kernel-bypass device, if the pod had one).
   if (op->image.has_gm_device) {
@@ -639,14 +726,22 @@ void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
 
   sim::Time cost =
       costs_.net_restore_cost(op->image.sockets.size(), restored_bytes);
-  after(cost, [this, op] {
+  after(cost, [this, op, cost] {
     op->t_net_done = node_.now();
+    obs::metrics().histogram("agent.restart.netstate_us").observe(cost);
+    if (obs::SpanRecorder* r = rec()) {
+      r->end_at(op->t_net_done, op->span_netstate);
+    }
     trace("3: network state restored for " + op->cmd.pod_name);
     restart_standalone(op);
   });
 }
 
 void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_standalone =
+        r->begin_at(node_.now(), "restart.standalone", who(), op->span_root);
+  }
   // Step 4: standalone restart.
   Status st = ckpt::Standalone::restore_processes(*op->pod,
                                                   op->image.processes,
@@ -659,7 +754,8 @@ void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
   }
   sim::Time cost = costs_.standalone_restart_cost(
       image_bytes, op->image.processes.size());
-  after(cost, [this, op] {
+  after(cost, [this, op, cost] {
+    obs::metrics().histogram("agent.restart.standalone_us").observe(cost);
     trace("4: standalone restart done for " + op->cmd.pod_name);
     op->pod->resume();
     restart_finish(op, Status::ok());
@@ -669,6 +765,12 @@ void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
 void Agent::restart_finish(const std::shared_ptr<RestartOp>& op, Status st) {
   if (op->finished) return;
   op->finished = true;
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(node_.now(), op->span_connectivity);
+    r->end_at(node_.now(), op->span_netstate);
+    r->end_at(node_.now(), op->span_standalone);
+    r->end_at(node_.now(), op->span_root);
+  }
   if (!st && op->pod != nullptr) {
     (void)destroy_pod(op->cmd.pod_name);  // clean up the partial pod
   }

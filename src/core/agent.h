@@ -67,6 +67,7 @@ class Agent {
     CheckpointCmd cmd;
     MsgChannel* mgr = nullptr;
     sim::Time t_start = 0;
+    sim::Time t_standalone_done = 0;
     ckpt::PodImage image;
     Bytes encoded_image;
     std::vector<RedirectData> redirects;  // to ship to peer agents
@@ -75,6 +76,12 @@ class Agent {
     bool standalone_done = false;
     bool finished = false;
     bool aborted = false;
+    // Phase spans (Figure 2 breakdown); 0 when tracing is off.
+    obs::SpanId span_root = 0;        // "ckpt"
+    obs::SpanId span_suspend = 0;     // "ckpt.suspend"
+    obs::SpanId span_netckpt = 0;     // "ckpt.netckpt"
+    obs::SpanId span_standalone = 0;  // "ckpt.standalone"
+    obs::SpanId span_barrier = 0;     // "ckpt.barrier"
   };
 
   struct RestartOp {
@@ -88,6 +95,10 @@ class Agent {
     std::unique_ptr<ConnectivityRestore> connectivity;
     ckpt::SockMap socks;
     bool finished = false;
+    obs::SpanId span_root = 0;          // "restart"
+    obs::SpanId span_connectivity = 0;  // "restart.connectivity"
+    obs::SpanId span_netstate = 0;      // "restart.netstate"
+    obs::SpanId span_standalone = 0;    // "restart.standalone"
   };
 
   struct Conn {
@@ -128,6 +139,11 @@ class Agent {
   void restart_finish(const std::shared_ptr<RestartOp>& op, Status st);
 
   void trace(const std::string& what);
+  /// Span stream behind the trace (nullptr when tracing is off).
+  obs::SpanRecorder* rec() {
+    return trace_ != nullptr ? &trace_->recorder() : nullptr;
+  }
+  std::string who() const { return "agent@" + node_.name(); }
   template <typename Fn>
   void after(sim::Time delay, Fn&& fn);
 

@@ -40,6 +40,9 @@ void MsgChannel::arm() {
     if (auto a = alive.lock(); !a || !*a) return;
     event_scheduled_ = false;
     flush();
+    // flush() may fail, invoking on_closed_ — whose owner may destroy
+    // this channel.  Re-check liveness before touching it again.
+    if (auto a = alive.lock(); !a || !*a) return;
     pump();
   });
 }

@@ -306,7 +306,11 @@ void ConnectivityRestore::finish(Status st) {
                                               << " failed: "
                                               << st.to_string());
   }
-  done_(std::move(st), std::move(map_));
+  // The callback typically captures the RestartOp that owns this object;
+  // release it after the call or the two keep each other alive forever.
+  DoneFn done = std::move(done_);
+  done_ = nullptr;
+  done(std::move(st), std::move(map_));
 }
 
 }  // namespace zapc::core

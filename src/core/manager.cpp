@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace zapc::core {
@@ -31,6 +32,11 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
   op_->redirect = redirect_send_queues && mode == CkptMode::MIGRATE;
   op_->t_start = node_.now();
   op_->done_fn = std::move(done);
+  if (obs::SpanRecorder* r = rec()) {
+    op_->span_root = r->begin_at(op_->t_start, "mgr.ckpt", "manager");
+    op_->span_meta_wait = r->begin_at(op_->t_start, "mgr.ckpt.meta_wait",
+                                      "manager", op_->span_root);
+  }
 
   // For the redirect optimization, every agent needs to know which agent
   // receives each peer pod's checkpoint stream: (vip -> endpoint) pairs
@@ -151,6 +157,11 @@ void Manager::ckpt_maybe_continue() {
   // The single synchronization point (paper §4, Figure 2 "sync").
   op_->continued = true;
   op_->t_sync = node_.now();
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(op_->t_sync, op_->span_meta_wait);
+    op_->span_done_wait = r->begin_at(op_->t_sync, "mgr.ckpt.done_wait",
+                                      "manager", op_->span_root);
+  }
   trace("3: all meta-data in; send 'continue' to agents (sync point)");
   for (CkptPeer& p : op_->peers) {
     (void)p.ch->send(encode_continue());
@@ -175,6 +186,13 @@ void Manager::ckpt_maybe_finish() {
   }
   last_metas_ = report.metas;
   last_redirect_ = op_->redirect;
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(node_.now(), op_->span_done_wait);
+    r->end_at(node_.now(), op_->span_root);
+  }
+  obs::metrics().counter("mgr.checkpoints").inc();
+  obs::metrics().histogram("mgr.ckpt.total_us").observe(report.total_us);
+  obs::metrics().histogram("mgr.ckpt.sync_wait_us").observe(report.sync_us);
   trace("checkpoint complete in " + std::to_string(report.total_us) + "us");
   CheckpointDoneFn fn = std::move(op_->done_fn);
   op_.reset();
@@ -185,6 +203,12 @@ void Manager::ckpt_fail(const std::string& why) {
   if (op_ == nullptr || op_->finished) return;
   op_->finished = true;
   ZLOG_WARN("manager: checkpoint failed: " << why);
+  if (obs::SpanRecorder* r = rec()) {
+    r->end_at(node_.now(), op_->span_meta_wait);
+    r->end_at(node_.now(), op_->span_done_wait);
+    r->end_at(node_.now(), op_->span_root);
+  }
+  obs::metrics().counter("mgr.checkpoint_failures").inc();
   trace("checkpoint ABORTED: " + why);
   for (CkptPeer& p : op_->peers) {
     if (p.ch != nullptr && p.ch->open()) {
@@ -303,6 +327,9 @@ void Manager::restart(std::vector<Target> targets,
   rop_ = std::make_unique<RestartState>();
   rop_->t_start = node_.now();
   rop_->done_fn = std::move(done);
+  if (obs::SpanRecorder* r = rec()) {
+    rop_->span_root = r->begin_at(rop_->t_start, "mgr.restart", "manager");
+  }
 
   trace("1: send 'restart' + meta-data to " +
         std::to_string(targets.size()) + " agents");
@@ -376,6 +403,9 @@ void Manager::restart_maybe_finish() {
     report.max_net_restore_us =
         std::max(report.max_net_restore_us, p.done.net_restore_us);
   }
+  if (obs::SpanRecorder* r = rec()) r->end_at(node_.now(), rop_->span_root);
+  obs::metrics().counter("mgr.restarts").inc();
+  obs::metrics().histogram("mgr.restart.total_us").observe(report.total_us);
   trace("restart complete in " + std::to_string(report.total_us) + "us");
   RestartDoneFn fn = std::move(rop_->done_fn);
   rop_.reset();
@@ -386,6 +416,8 @@ void Manager::restart_fail(const std::string& why) {
   if (rop_ == nullptr || rop_->finished) return;
   rop_->finished = true;
   ZLOG_WARN("manager: restart failed: " << why);
+  if (obs::SpanRecorder* r = rec()) r->end_at(node_.now(), rop_->span_root);
+  obs::metrics().counter("mgr.restart_failures").inc();
   trace("restart ABORTED: " + why);
   RestartReport report;
   report.ok = false;

@@ -131,6 +131,9 @@ class Manager {
     CheckpointDoneFn done_fn;
     bool continued = false;
     bool finished = false;
+    obs::SpanId span_root = 0;       // "mgr.ckpt"
+    obs::SpanId span_meta_wait = 0;  // invocation → sync point
+    obs::SpanId span_done_wait = 0;  // sync point → all done
   };
 
   struct RestartPeer {
@@ -145,6 +148,7 @@ class Manager {
     RestartReport report;
     RestartDoneFn done_fn;
     bool finished = false;
+    obs::SpanId span_root = 0;  // "mgr.restart"
   };
 
   void ckpt_on_msg(std::size_t idx, Bytes msg);
@@ -159,6 +163,10 @@ class Manager {
   void restart_fail(const std::string& why);
 
   void trace(const std::string& what);
+  /// Span stream behind the trace (nullptr when tracing is off).
+  obs::SpanRecorder* rec() {
+    return trace_ != nullptr ? &trace_->recorder() : nullptr;
+  }
 
   os::Node& node_;
   Trace* trace_;

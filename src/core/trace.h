@@ -1,10 +1,18 @@
 // Event trace used to regenerate the paper's Figure 2 timeline and to
 // debug the coordinated protocol.
+//
+// Trace is now a thin view over an obs::SpanRecorder: add() records an
+// instant EVENT in the span stream, and events() materializes the EVENT
+// records back into the legacy {t, who, what} rows, so the Figure 2
+// timeline bench and the protocol tests keep their string-matching
+// logic unchanged while the same stream also carries the phase spans
+// the Manager/Agent pipeline opens around each checkpoint stage.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "obs/span.h"
 #include "sim/engine.h"
 
 namespace zapc::core {
@@ -18,13 +26,30 @@ struct TraceEvent {
 class Trace {
  public:
   void add(sim::Time t, std::string who, std::string what) {
-    events_.push_back(TraceEvent{t, std::move(who), std::move(what)});
+    rec_.event_at(t, who, what);
   }
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+
+  /// The legacy flat timeline: EVENT records only, in insertion order
+  /// (phase SPAN records are filtered out).  Returns by value because
+  /// rows are materialized from the span stream on demand.
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    for (const obs::SpanRecord& s : rec_.spans()) {
+      if (s.kind == obs::SpanKind::EVENT) {
+        out.push_back(TraceEvent{s.start, s.who, s.name});
+      }
+    }
+    return out;
+  }
+
+  void clear() { rec_.clear(); }
+
+  /// The underlying span stream (phase spans + events).
+  obs::SpanRecorder& recorder() { return rec_; }
+  const obs::SpanRecorder& recorder() const { return rec_; }
 
  private:
-  std::vector<TraceEvent> events_;
+  obs::SpanRecorder rec_;
 };
 
 }  // namespace zapc::core

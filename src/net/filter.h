@@ -13,6 +13,7 @@
 #include <unordered_set>
 
 #include "net/packet.h"
+#include "obs/stats.h"
 #include "util/types.h"
 
 namespace zapc::net {
@@ -39,6 +40,7 @@ class PacketFilter {
       } else {
         ++dropped_egress_;
       }
+      obs::stats::net_filter_dropped().inc();
       return false;
     }
     return true;

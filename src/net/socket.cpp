@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/stack.h"
+#include "obs/stats.h"
 
 namespace zapc::net {
 
@@ -95,6 +96,7 @@ void Socket::reset_default_ops() {
 
 void Socket::install_alt_queue(std::deque<RecvItem> items) {
   if (items.empty()) return;
+  obs::stats::net_altq_installs().inc();
   alt_queue_ = std::make_unique<AltRecvQueue>(std::move(items));
 
   // Interposed recvmsg: satisfy reads from the alternate queue first;
@@ -106,6 +108,7 @@ void Socket::install_alt_queue(std::deque<RecvItem> items) {
     const bool stream = s.proto() == Proto::TCP;
     auto r = q->serve(stream, maxlen, flags);
     if (q->empty()) {
+      obs::stats::net_altq_drains().inc();
       s.reset_default_ops();
       s.drop_alt_queue();
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/stack.h"
+#include "obs/stats.h"
 #include "util/log.h"
 
 namespace zapc::net {
@@ -151,6 +152,11 @@ void TcpSocket::on_rtx_timeout() {
   const bool probing = snd_una_ == snd_nxt_ && unsent_bytes() > 0 &&
                        snd_wnd_ == 0 && state_ != TcpState::SYN_SENT &&
                        state_ != TcpState::SYN_RCVD;
+  if (probing) {
+    obs::stats::net_tcp_zero_window_probes().inc();
+  } else {
+    obs::stats::net_tcp_retransmits().inc();
+  }
   if (!probing && ++rtx_count_ > kMaxRetries) {
     fail_connection(Err::TIMED_OUT);
     return;
@@ -328,6 +334,7 @@ void TcpSocket::on_ack(const Packet& p) {
         std::min<std::size_t>(advanced, send_buf_.size());
     send_buf_.erase(send_buf_.begin(),
                     send_buf_.begin() + static_cast<long>(data_bytes));
+    obs::stats::net_tcp_send_queue().set(static_cast<i64>(send_buf_.size()));
     if (urg_seq_snd_ && seq_lt(*urg_seq_snd_, p.ack)) urg_seq_snd_.reset();
     snd_una_ = p.ack;
     rto_ = kInitialRto;
@@ -432,12 +439,18 @@ void TcpSocket::on_data(const Packet& p) {
   } else if (seq_gt(seg_seq, rcv_nxt_)) {
     // Future data: out-of-order reassembly queue (the checkpoint
     // deliberately discards this — the peer's send queue still holds it).
+    obs::stats::net_tcp_out_of_order().inc();
     auto it = ooo_.find(seg_seq);
     if (it == ooo_.end() || it->second.size() < p.payload.size()) {
       ooo_[seg_seq] = p.payload;
     }
   }
   // else: entirely old duplicate; just re-ACK below.
+
+  obs::stats::net_tcp_recv_queue().set(static_cast<i64>(recv_buf_.size()));
+  u64 ooo_bytes = 0;
+  for (const auto& [s, seg] : ooo_) ooo_bytes += seg.size();
+  obs::stats::net_tcp_ooo_queue().set(static_cast<i64>(ooo_bytes));
 
   send_ack();
 }
@@ -582,6 +595,7 @@ Result<std::size_t> TcpSocket::do_send(const Bytes& data, u32 flags,
   if (send_buf_.size() >= sndbuf) return Status(Err::WOULD_BLOCK);
   std::size_t accepted = std::min(data.size(), sndbuf - send_buf_.size());
   send_buf_.insert(send_buf_.end(), data.begin(), data.begin() + accepted);
+  obs::stats::net_tcp_send_queue().set(static_cast<i64>(send_buf_.size()));
   if ((flags & MSG_OOB) != 0) {
     // The last byte written is the urgent byte (BSD semantics).
     urg_seq_snd_ = snd_una_ + static_cast<u32>(send_buf_.size()) - 1;
@@ -626,6 +640,7 @@ Result<RecvResult> TcpSocket::do_recvmsg(std::size_t maxlen, u32 flags) {
   if ((flags & MSG_PEEK) == 0) {
     recv_buf_.erase(recv_buf_.begin(),
                     recv_buf_.begin() + static_cast<long>(n));
+    obs::stats::net_tcp_recv_queue().set(static_cast<i64>(recv_buf_.size()));
     maybe_send_window_update(before);
   }
   return r;

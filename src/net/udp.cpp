@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/stack.h"
+#include "obs/stats.h"
 #include "util/log.h"
 
 namespace zapc::net {
@@ -71,10 +72,12 @@ void UdpSocket::handle_packet(const Packet& p) {
   if (queued_bytes_ + p.payload.size() > rcvbuf) {
     ZLOG_DEBUG("udp " << stack().name() << "/" << id()
                       << ": rcvbuf full, datagram dropped");
+    obs::stats::net_udp_dropped().inc();
     return;  // legitimate UDP behaviour: queue overflow drops
   }
   queued_bytes_ += p.payload.size();
   recv_q_.push_back(Datagram{p.src, p.payload});
+  obs::stats::net_udp_recv_queue().set(static_cast<i64>(queued_bytes_));
   notify();
 }
 

@@ -1,0 +1,382 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace zapc::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  // Integral values within the double-exact range print as integers, so
+  // virtual times and byte counts round-trip byte-identically.
+  if (std::nearbyint(d) == d && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::NUL: out += "null"; return;
+    case Type::BOOL: out += bool_ ? "true" : "false"; return;
+    case Type::NUM: append_number(out, num_); return;
+    case Type::STR: append_escaped(out, str_); return;
+    case Type::ARR: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::OBJ: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<Json> parse() {
+    auto v = value();
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return Status(Err::PROTO, "trailing characters in JSON");
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return Status(Err::PROTO, "unexpected end");
+    char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto str = string();
+      if (!str) return str.status();
+      return Json(std::move(str).value());
+    }
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json();
+    return number();
+  }
+
+  Result<Json> number() {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status(Err::PROTO, "bad JSON value");
+    try {
+      return Json(std::stod(s_.substr(start, pos_ - start)));
+    } catch (...) {
+      return Status(Err::PROTO, "bad JSON number");
+    }
+  }
+
+  Result<std::string> string() {
+    if (!consume('"')) return Status(Err::PROTO, "expected string");
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              return Status(Err::PROTO, "short \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Status(Err::PROTO, "bad \\u escape");
+              }
+            }
+            // Exporter only emits \u00xx for control bytes; decode the
+            // low byte and accept anything else as-is (best effort).
+            out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default:
+            return Status(Err::PROTO, "bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Status(Err::PROTO, "unterminated string");
+  }
+
+  Result<Json> array() {
+    if (!consume('[')) return Status(Err::PROTO, "expected [");
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      auto v = value();
+      if (!v) return v;
+      arr.push(std::move(v).value());
+      if (consume(']')) return arr;
+      if (!consume(',')) return Status(Err::PROTO, "expected , or ]");
+    }
+  }
+
+  Result<Json> object() {
+    if (!consume('{')) return Status(Err::PROTO, "expected {");
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return key.status();
+      if (!consume(':')) return Status(Err::PROTO, "expected :");
+      auto v = value();
+      if (!v) return v;
+      obj[key.value()] = std::move(v).value();
+      if (consume('}')) return obj;
+      if (!consume(',')) return Status(Err::PROTO, "expected , or }");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Json u64_array(const std::vector<u64>& v) {
+  Json arr = Json::array();
+  for (u64 x : v) arr.push(x);
+  return arr;
+}
+
+std::vector<u64> u64_vector(const Json& arr) {
+  std::vector<u64> out;
+  for (const Json& v : arr.items()) out.push_back(v.num_u64());
+  return out;
+}
+
+}  // namespace
+
+Result<Json> json_parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+// ---- Evidence export -------------------------------------------------------
+
+Json snapshot_to_json(const MetricsSnapshot& snap) {
+  Json m = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, v] : snap.counters) counters[name] = v;
+  m["counters"] = std::move(counters);
+
+  Json gauges = Json::object();
+  for (const auto& [name, g] : snap.gauges) {
+    Json jg = Json::object();
+    jg["value"] = g.value;
+    jg["max"] = g.max_seen;
+    gauges[name] = std::move(jg);
+  }
+  m["gauges"] = std::move(gauges);
+
+  Json hists = Json::object();
+  for (const auto& [name, h] : snap.histograms) {
+    Json jh = Json::object();
+    jh["bounds"] = u64_array(h.bounds);
+    jh["counts"] = u64_array(h.counts);
+    jh["count"] = h.count;
+    jh["sum"] = h.sum;
+    jh["min"] = h.min;
+    jh["max"] = h.max;
+    hists[name] = std::move(jh);
+  }
+  m["histograms"] = std::move(hists);
+  return m;
+}
+
+Result<MetricsSnapshot> snapshot_from_json(const Json& j) {
+  if (!j.is_obj()) return Status(Err::PROTO, "metrics: not an object");
+  MetricsSnapshot out;
+  if (const Json* counters = j.find("counters")) {
+    for (const auto& [name, v] : counters->fields()) {
+      out.counters[name] = v.num_u64();
+    }
+  }
+  if (const Json* gauges = j.find("gauges")) {
+    for (const auto& [name, g] : gauges->fields()) {
+      GaugeValue gv;
+      if (const Json* v = g.find("value")) gv.value = v->num_i64();
+      if (const Json* v = g.find("max")) gv.max_seen = v->num_i64();
+      out.gauges[name] = gv;
+    }
+  }
+  if (const Json* hists = j.find("histograms")) {
+    for (const auto& [name, h] : hists->fields()) {
+      HistogramValue hv;
+      if (const Json* v = h.find("bounds")) hv.bounds = u64_vector(*v);
+      if (const Json* v = h.find("counts")) hv.counts = u64_vector(*v);
+      if (const Json* v = h.find("count")) hv.count = v->num_u64();
+      if (const Json* v = h.find("sum")) hv.sum = v->num_u64();
+      if (const Json* v = h.find("min")) hv.min = v->num_u64();
+      if (const Json* v = h.find("max")) hv.max = v->num_u64();
+      if (hv.counts.size() != hv.bounds.size() + 1) {
+        return Status(Err::PROTO, "histogram " + name + ": bad bucket count");
+      }
+      out.histograms[name] = std::move(hv);
+    }
+  }
+  return out;
+}
+
+Json spans_to_json(const SpanRecorder& rec) {
+  Json arr = Json::array();
+  for (const SpanRecord& s : rec.spans()) {
+    Json js = Json::object();
+    js["id"] = static_cast<u64>(s.id);
+    js["parent"] = static_cast<u64>(s.parent);
+    js["kind"] = s.kind == SpanKind::EVENT ? "event" : "span";
+    js["name"] = s.name;
+    js["who"] = s.who;
+    js["start_us"] = s.start;
+    js["end_us"] = s.end;
+    if (s.open) js["open"] = true;
+    arr.push(std::move(js));
+  }
+  return arr;
+}
+
+Json evidence_json(const std::string& name, const MetricsSnapshot& snap,
+                   const SpanRecorder* spans) {
+  Json doc = Json::object();
+  doc["schema"] = kSchemaVersion;
+  doc["name"] = name;
+  doc["metrics"] = snapshot_to_json(snap);
+  if (spans != nullptr) doc["spans"] = spans_to_json(*spans);
+  return doc;
+}
+
+}  // namespace zapc::obs

@@ -1,0 +1,128 @@
+// Minimal JSON tree, writer, parser and the evidence exporter.
+//
+// Serializes a metrics snapshot + span stream to the stable
+// `zapc.obs.v1` schema benches write under bench_results/*.json:
+//
+//   {
+//     "schema": "zapc.obs.v1",
+//     "name": "<bench or export name>",
+//     "metrics": {
+//       "counters":   { "net.tcp.retransmits": 3, ... },
+//       "gauges":     { "sim.queue_depth": {"value": 2, "max": 40}, ... },
+//       "histograms": { "agent.ckpt.suspend_us": {
+//           "bounds": [...], "counts": [...],
+//           "count": n, "sum": s, "min": m, "max": M }, ... }
+//     },
+//     "spans": [ { "id": 1, "parent": 0, "kind": "span"|"event",
+//                  "name": "...", "who": "...",
+//                  "start_us": t0, "end_us": t1 }, ... ],   // optional
+//     "rows":  [ ... ]                                      // bench series
+//   }
+//
+// The writer emits object keys sorted (std::map) with a fixed number
+// format, so identical data always produces identical bytes — snapshots
+// round-trip exactly and diffs of bench_results/*.json stay readable.
+// No external JSON dependency; the parser exists so tests can validate
+// the exporter against its own output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/status.h"
+
+namespace zapc::obs {
+
+inline constexpr const char* kSchemaVersion = "zapc.obs.v1";
+
+class Json {
+ public:
+  enum class Type { NUL, BOOL, NUM, STR, ARR, OBJ };
+
+  Json() = default;
+  Json(bool b) : type_(Type::BOOL), bool_(b) {}
+  Json(double d) : type_(Type::NUM), num_(d) {}
+  Json(int v) : type_(Type::NUM), num_(v) {}
+  Json(u32 v) : type_(Type::NUM), num_(v) {}
+  Json(i64 v) : type_(Type::NUM), num_(static_cast<double>(v)) {}
+  Json(u64 v) : type_(Type::NUM), num_(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::STR), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::STR), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::ARR;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::OBJ;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::NUL; }
+  bool is_num() const { return type_ == Type::NUM; }
+  bool is_str() const { return type_ == Type::STR; }
+  bool is_arr() const { return type_ == Type::ARR; }
+  bool is_obj() const { return type_ == Type::OBJ; }
+
+  bool boolean() const { return bool_; }
+  double num() const { return num_; }
+  u64 num_u64() const { return num_ < 0 ? 0 : static_cast<u64>(num_); }
+  i64 num_i64() const { return static_cast<i64>(num_); }
+  const std::string& str() const { return str_; }
+
+  // Arrays.
+  void push(Json v) { arr_.push_back(std::move(v)); }
+  const std::vector<Json>& items() const { return arr_; }
+  std::size_t size() const {
+    return type_ == Type::ARR ? arr_.size() : obj_.size();
+  }
+
+  // Objects.  operator[] creates (and coerces a NUL value to OBJ).
+  Json& operator[](const std::string& key) {
+    type_ = Type::OBJ;
+    return obj_[key];
+  }
+  const Json* find(const std::string& key) const {
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, Json>& fields() const { return obj_; }
+
+  /// Serializes; indent 0 = compact single line, otherwise pretty with
+  /// `indent` spaces per level.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::NUL;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+/// Parses a JSON document (Err::PROTO on malformed input).
+Result<Json> json_parse(const std::string& text);
+
+// ---- Evidence export -------------------------------------------------------
+
+Json snapshot_to_json(const MetricsSnapshot& snap);
+Result<MetricsSnapshot> snapshot_from_json(const Json& j);
+
+Json spans_to_json(const SpanRecorder& rec);
+
+/// Assembles the full zapc.obs.v1 document (spans section omitted when
+/// `spans` is null).  Callers may attach extra sections (e.g. "rows")
+/// before dumping.
+Json evidence_json(const std::string& name, const MetricsSnapshot& snap,
+                   const SpanRecorder* spans = nullptr);
+
+}  // namespace zapc::obs

@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace zapc::obs {
+
+Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(u64 v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+const std::vector<u64>& time_buckets_us() {
+  static const std::vector<u64> kBuckets = {
+      100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+  return kBuckets;
+}
+
+const std::vector<u64>& byte_buckets() {
+  static const std::vector<u64> kBuckets = {
+      1ull << 10, 1ull << 15, 1ull << 20, 1ull << 25, 1ull << 30};
+  return kBuckets;
+}
+
+MetricsSnapshot MetricsSnapshot::diff_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : counters) {
+    auto it = earlier.counters.find(name);
+    u64 base = it == earlier.counters.end() ? 0 : it->second;
+    out.counters[name] = v >= base ? v - base : v;  // reset() in between
+  }
+  out.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    HistogramValue d = h;
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end() &&
+        it->second.bounds == h.bounds && h.count >= it->second.count) {
+      for (std::size_t i = 0; i < d.counts.size(); ++i) {
+        d.counts[i] -= it->second.counts[i];
+      }
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+    }
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<u64>& bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value;
+  for (const auto& [name, g] : gauges_) {
+    s.gauges[name] = GaugeValue{g->value, g->max_seen};
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramValue v;
+    v.bounds = h->bounds();
+    v.counts = h->counts();
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    s.histograms[name] = std::move(v);
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c->value = 0;
+  for (auto& [name, g] : gauges_) *g = Gauge{};
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed
+  return *g;
+}
+
+}  // namespace zapc::obs

@@ -1,0 +1,144 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// The registry is the numeric half of the telemetry subsystem (spans are
+// the other half, obs/span.h).  Metric objects are created on first use,
+// never destroyed, and have stable addresses, so hot paths may cache a
+// reference once and then pay a single increment per event (see
+// obs/stats.h for the cached accessors used by the network stack and the
+// simulation engine).  Names follow the `subsystem.metric_name`
+// convention, e.g. `net.tcp.retransmits` or `agent.ckpt.suspend_us`.
+//
+// Snapshots are plain value types: diffable (perf trajectory between two
+// points of one run) and serializable to JSON (obs/json.h).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace zapc::obs {
+
+/// Monotonically increasing event count.
+struct Counter {
+  u64 value = 0;
+  void inc(u64 n = 1) { value += n; }
+};
+
+/// Instantaneous level plus the high-water mark since the last reset
+/// (queue depths, pending events).
+struct Gauge {
+  i64 value = 0;
+  i64 max_seen = 0;
+  void set(i64 v) {
+    value = v;
+    if (v > max_seen) max_seen = v;
+  }
+  void add(i64 d) { set(value + d); }
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i];
+/// one overflow bucket counts the rest.  Bounds are set at creation and
+/// immutable, so observe() is a linear scan over a handful of u64s.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<u64> bounds);
+
+  void observe(u64 v);
+
+  const std::vector<u64>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<u64>& counts() const { return counts_; }
+  u64 count() const { return count_; }
+  u64 sum() const { return sum_; }
+  u64 min() const { return count_ == 0 ? 0 : min_; }
+  u64 max() const { return max_; }
+
+  void reset();
+
+ private:
+  std::vector<u64> bounds_;
+  std::vector<u64> counts_;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = 0;
+  u64 max_ = 0;
+};
+
+/// Default bucket bounds for virtual-time durations in microseconds:
+/// 100us .. 10s, one decade per bucket.
+const std::vector<u64>& time_buckets_us();
+
+/// Default bucket bounds for byte counts: 1KB .. 1GB.
+const std::vector<u64>& byte_buckets();
+
+// ---- Snapshots -------------------------------------------------------------
+
+struct GaugeValue {
+  i64 value = 0;
+  i64 max_seen = 0;
+};
+
+struct HistogramValue {
+  std::vector<u64> bounds;
+  std::vector<u64> counts;
+  u64 count = 0;
+  u64 sum = 0;
+  u64 min = 0;
+  u64 max = 0;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, u64> counters;
+  std::map<std::string, GaugeValue> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  /// Change since `earlier`: counters and histogram counts/sums are
+  /// subtracted (a metric missing from `earlier` counts from zero);
+  /// gauges and histogram min/max keep this snapshot's values, since
+  /// levels and extrema do not subtract meaningfully.
+  MetricsSnapshot diff_since(const MetricsSnapshot& earlier) const;
+};
+
+// ---- Registry --------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the returned reference stays valid for the
+  /// registry's lifetime (metrics are never removed, only reset).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on creation; a later lookup of an existing
+  /// histogram ignores it.  Defaults to time_buckets_us().
+  Histogram& histogram(const std::string& name,
+                       const std::vector<u64>& bounds = time_buckets_us());
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value but keeps all registered metrics (and therefore
+  /// every cached reference) alive.
+  void reset();
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  // unique_ptr for address stability across map rehash/rebalance.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry every subsystem reports into.  The
+/// simulation is single-threaded, so no locking.
+MetricsRegistry& metrics();
+
+}  // namespace zapc::obs

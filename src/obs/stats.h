@@ -1,0 +1,118 @@
+// Canonical metric names and cached accessors for hot paths.
+//
+// Call sites that fire per packet or per event hold a `static` reference
+// obtained here, so the map lookup happens once per process.  The names
+// below are the stable `subsystem.metric_name` vocabulary the JSON
+// evidence schema exposes; ensure_core_metrics() registers all of them
+// so an exported snapshot always carries the full set (zeros included),
+// which keeps bench_results/*.json diffable across runs that exercise
+// different code paths.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace zapc::obs::stats {
+
+// ---- sim -------------------------------------------------------------------
+inline Counter& sim_events_dispatched() {
+  static Counter& c = metrics().counter("sim.events_dispatched");
+  return c;
+}
+inline Counter& sim_events_cancelled() {
+  static Counter& c = metrics().counter("sim.events_cancelled");
+  return c;
+}
+inline Gauge& sim_queue_depth() {
+  static Gauge& g = metrics().gauge("sim.queue_depth");
+  return g;
+}
+
+// ---- net: fabric / packet filter -------------------------------------------
+inline Counter& net_filter_dropped() {
+  static Counter& c = metrics().counter("net.filter.dropped");
+  return c;
+}
+
+// ---- net: TCP --------------------------------------------------------------
+inline Counter& net_tcp_retransmits() {
+  static Counter& c = metrics().counter("net.tcp.retransmits");
+  return c;
+}
+inline Counter& net_tcp_zero_window_probes() {
+  static Counter& c = metrics().counter("net.tcp.zero_window_probes");
+  return c;
+}
+inline Counter& net_tcp_out_of_order() {
+  static Counter& c = metrics().counter("net.tcp.out_of_order");
+  return c;
+}
+inline Gauge& net_tcp_send_queue() {
+  static Gauge& g = metrics().gauge("net.tcp.send_queue_bytes");
+  return g;
+}
+inline Gauge& net_tcp_recv_queue() {
+  static Gauge& g = metrics().gauge("net.tcp.recv_queue_bytes");
+  return g;
+}
+inline Gauge& net_tcp_ooo_queue() {
+  static Gauge& g = metrics().gauge("net.tcp.ooo_queue_bytes");
+  return g;
+}
+
+// ---- net: UDP --------------------------------------------------------------
+inline Counter& net_udp_dropped() {
+  static Counter& c = metrics().counter("net.udp.dropped");
+  return c;
+}
+inline Gauge& net_udp_recv_queue() {
+  static Gauge& g = metrics().gauge("net.udp.recv_queue_bytes");
+  return g;
+}
+
+// ---- net: alternate receive queue (checkpoint interposition) ---------------
+inline Counter& net_altq_installs() {
+  static Counter& c = metrics().counter("net.altq.installs");
+  return c;
+}
+inline Counter& net_altq_drains() {
+  static Counter& c = metrics().counter("net.altq.drains");
+  return c;
+}
+
+/// Registers every canonical metric above plus the per-phase histograms
+/// the Manager/Agent pipeline and checkpoint codec report into, so JSON
+/// exports list the whole vocabulary even for metrics still at zero.
+inline void ensure_core_metrics() {
+  sim_events_dispatched();
+  sim_events_cancelled();
+  sim_queue_depth();
+  net_filter_dropped();
+  net_tcp_retransmits();
+  net_tcp_zero_window_probes();
+  net_tcp_out_of_order();
+  net_tcp_send_queue();
+  net_tcp_recv_queue();
+  net_tcp_ooo_queue();
+  net_udp_dropped();
+  net_udp_recv_queue();
+  net_altq_installs();
+  net_altq_drains();
+  MetricsRegistry& m = metrics();
+  m.counter("mgr.checkpoints");
+  m.counter("mgr.checkpoint_failures");
+  m.counter("mgr.restarts");
+  m.counter("mgr.restart_failures");
+  m.histogram("mgr.ckpt.total_us");
+  m.histogram("mgr.ckpt.sync_wait_us");
+  m.histogram("mgr.restart.total_us");
+  m.histogram("agent.ckpt.suspend_us");
+  m.histogram("agent.ckpt.netckpt_us");
+  m.histogram("agent.ckpt.standalone_us");
+  m.histogram("agent.ckpt.barrier_wait_us");
+  m.histogram("agent.restart.connectivity_us");
+  m.histogram("agent.restart.netstate_us");
+  m.histogram("agent.restart.standalone_us");
+  m.histogram("ckpt.image_bytes", byte_buckets());
+}
+
+}  // namespace zapc::obs::stats

@@ -11,13 +11,28 @@
 #include "os/node.h"
 #include "os/san.h"
 #include "sim/engine.h"
+#include "util/log.h"
 
 namespace zapc::os {
 
 class Cluster {
  public:
   explicit Cluster(net::FabricConfig fabric_config = {})
-      : fabric_(engine_, fabric_config) {}
+      : fabric_(engine_, fabric_config) {
+    // Stamp log lines with this cluster's virtual clock.  The most
+    // recently constructed cluster wins; destroying an older one (e.g. a
+    // warm-up testbed) leaves the newer registration in place.
+    set_log_clock(this,
+                  [](const void* ctx) {
+                    return static_cast<const sim::Engine*>(ctx)->now();
+                  },
+                  &engine_);
+  }
+
+  ~Cluster() { clear_log_clock(this); }
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   /// Adds a node with an auto-assigned real address 192.168.1.(n+1).
   Node& add_node(const std::string& name, int ncpus = 1);

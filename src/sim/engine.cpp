@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include "obs/stats.h"
+
 namespace zapc::sim {
 
 EventId Engine::schedule_at(Time t, std::function<void()> fn) {
@@ -7,6 +9,7 @@ EventId Engine::schedule_at(Time t, std::function<void()> fn) {
   EventId id = next_id_++;
   queue_.push(Item{t, next_seq_++, id});
   handlers_.emplace(id, std::move(fn));
+  obs::stats::sim_queue_depth().set(static_cast<i64>(queue_.size()));
   return id;
 }
 
@@ -15,6 +18,7 @@ bool Engine::cancel(EventId id) {
   if (it == handlers_.end()) return false;
   handlers_.erase(it);
   cancelled_.insert(id);
+  obs::stats::sim_events_cancelled().inc();
   return true;
 }
 
@@ -32,6 +36,7 @@ bool Engine::step() {
     std::function<void()> fn = std::move(hit->second);
     handlers_.erase(hit);
     now_ = item.time;
+    obs::stats::sim_events_dispatched().inc();
     fn();
     return true;
   }

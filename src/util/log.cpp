@@ -1,11 +1,24 @@
 #include "util/log.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace zapc {
 namespace {
 
-LogLevel g_level = LogLevel::WARN;
+LogLevel env_log_level() {
+  const char* v = std::getenv("ZAPC_LOG_LEVEL");
+  if (v == nullptr) return LogLevel::WARN;
+  return parse_log_level(v, LogLevel::WARN);
+}
+
+LogLevel g_level = env_log_level();
+
+// Registered virtual clock (usually the Cluster's engine).
+const void* g_clock_owner = nullptr;
+std::uint64_t (*g_clock_fn)(const void*) = nullptr;
+const void* g_clock_ctx = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -23,8 +36,43 @@ const char* level_name(LogLevel l) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+LogLevel parse_log_level(const std::string& s, LogLevel fallback) {
+  std::string lower;
+  for (char c : s) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::DEBUG;
+  if (lower == "info") return LogLevel::INFO;
+  if (lower == "warn" || lower == "warning") return LogLevel::WARN;
+  if (lower == "error") return LogLevel::ERROR;
+  if (lower == "off" || lower == "none") return LogLevel::OFF;
+  return fallback;
+}
+
+void set_log_clock(const void* owner, std::uint64_t (*fn)(const void* ctx),
+                   const void* ctx) {
+  g_clock_owner = owner;
+  g_clock_fn = fn;
+  g_clock_ctx = ctx;
+}
+
+void clear_log_clock(const void* owner) {
+  // Only the current owner may clear: a destroyed warm-up cluster must
+  // not take down the clock a newer cluster registered after it.
+  if (g_clock_owner != owner) return;
+  g_clock_owner = nullptr;
+  g_clock_fn = nullptr;
+  g_clock_ctx = nullptr;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (g_clock_fn != nullptr) {
+    std::fprintf(stderr, "[%s @%lluus] %s\n", level_name(level),
+                 static_cast<unsigned long long>(g_clock_fn(g_clock_ctx)),
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace zapc

@@ -1,7 +1,14 @@
 // Minimal leveled logging.  Disabled (WARN level) by default so tests and
 // benches stay quiet; examples turn on INFO to narrate the protocol.
+//
+// The threshold can also be set from the environment: ZAPC_LOG_LEVEL=debug
+// (or info/warn/error/off) is read once at startup, before any explicit
+// set_log_level() call.  When a simulation clock is registered
+// (set_log_clock), every line is prefixed with the current virtual time:
+// `[INFO @12345us] ...`.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -12,6 +19,18 @@ enum class LogLevel { DEBUG = 0, INFO = 1, WARN = 2, ERROR = 3, OFF = 4 };
 /// Global log threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); returns
+/// `fallback` on anything else.
+LogLevel parse_log_level(const std::string& s, LogLevel fallback);
+
+/// Registers a virtual clock used to stamp log lines.  `owner` identifies
+/// the registrant (usually the Cluster): clear_log_clock() from a stale
+/// owner — e.g. a destroyed warm-up testbed — leaves a newer registration
+/// untouched.  Pass fn = nullptr via clear_log_clock to unregister.
+void set_log_clock(const void* owner, std::uint64_t (*fn)(const void* ctx),
+                   const void* ctx);
+void clear_log_clock(const void* owner);
 
 /// Emits one log line to stderr (already newline-terminated by the macro).
 void log_line(LogLevel level, const std::string& msg);

@@ -2,6 +2,27 @@
 
 namespace zapc {
 
+const char* record_tag_name(RecordTag tag) {
+  switch (tag) {
+    case RecordTag::IMAGE_HEADER: return "image_header";
+    case RecordTag::PROCESS: return "process";
+    case RecordTag::MEM_REGION: return "mem_region";
+    case RecordTag::FD_TABLE: return "fd_table";
+    case RecordTag::SOCKET_PARAMS: return "socket_params";
+    case RecordTag::SOCKET_RECV_QUEUE: return "socket_recv_queue";
+    case RecordTag::SOCKET_SEND_QUEUE: return "socket_send_queue";
+    case RecordTag::SOCKET_PCB: return "socket_pcb";
+    case RecordTag::NET_META: return "net_meta";
+    case RecordTag::POD_HEADER: return "pod_header";
+    case RecordTag::TIMERS: return "timers";
+    case RecordTag::TIME_VIRT: return "time_virt";
+    case RecordTag::REDIRECTED_SEND_Q: return "redirected_send_q";
+    case RecordTag::IMAGE_END: return "image_end";
+    case RecordTag::GM_DEVICE: return "gm_device";
+  }
+  return "unknown";
+}
+
 void RecordWriter::write(RecordTag tag, u16 version, const Bytes& payload) {
   buf_.put_u32(static_cast<u32>(tag));
   buf_.put_u16(version);

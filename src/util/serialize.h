@@ -192,6 +192,11 @@ enum class RecordTag : u32 {
   GM_DEVICE = 15,       // kernel-bypass device state (paper §5 extension)
 };
 
+/// Lower-case name of a record tag (e.g. "mem_region"), used for the
+/// per-record-type `ckpt.record.<name>.bytes` metrics; "unknown" for
+/// values outside the enum.
+const char* record_tag_name(RecordTag tag);
+
 /// Writes (tag, version, length, payload, crc) framed records.
 class RecordWriter {
  public:

@@ -3,10 +3,12 @@
 // live distributed application (TCP echo with byte-exact verification).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/agent.h"
 #include "core/manager.h"
+#include "obs/span.h"
 #include "os/cluster.h"
 #include "tests/guest_programs.h"
 
@@ -334,6 +336,65 @@ TEST_F(CoordinatedTest, TimelineShowsSingleSyncPoint) {
       EXPECT_LT(ev.t, sync_time);
     }
   }
+}
+
+TEST_F(CoordinatedTest, CheckpointEmitsFigure2PhaseSpans) {
+  start_app();
+  cl_.run_for(20 * sim::kMillisecond);
+  trace_.clear();
+  auto report = checkpoint();
+  ASSERT_TRUE(report.ok);
+
+  // Manager spans: a root covering the whole operation, a meta-data
+  // wait that ends at the single synchronization point, and a done-wait
+  // from the 'continue' broadcast to the last agent's completion.
+  const obs::SpanRecorder& rec = trace_.recorder();
+  const obs::SpanRecord* root = rec.find_by_name("mgr.ckpt", "manager");
+  const obs::SpanRecord* meta =
+      rec.find_by_name("mgr.ckpt.meta_wait", "manager");
+  const obs::SpanRecord* done =
+      rec.find_by_name("mgr.ckpt.done_wait", "manager");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(meta, nullptr);
+  ASSERT_NE(done, nullptr);
+  EXPECT_FALSE(root->open);
+  EXPECT_EQ(meta->parent, root->id);
+  EXPECT_EQ(done->parent, root->id);
+  EXPECT_EQ(meta->start, root->start);
+  EXPECT_EQ(done->start, meta->end);  // single sync point
+  EXPECT_LE(done->end, root->end);
+
+  // Per-agent phase spans in Figure-2 order: suspend, then network
+  // state (checkpointed FIRST), then the standalone checkpoint, then
+  // the barrier wait — all nested under the agent's root span.
+  obs::Time last_standalone_end = 0;
+  for (const char* who : {"agent@n1", "agent@n2"}) {
+    const obs::SpanRecord* aroot = rec.find_by_name("ckpt", who);
+    const obs::SpanRecord* susp = rec.find_by_name("ckpt.suspend", who);
+    const obs::SpanRecord* net = rec.find_by_name("ckpt.netckpt", who);
+    const obs::SpanRecord* sa = rec.find_by_name("ckpt.standalone", who);
+    const obs::SpanRecord* bar = rec.find_by_name("ckpt.barrier", who);
+    ASSERT_NE(aroot, nullptr) << who;
+    ASSERT_NE(susp, nullptr) << who;
+    ASSERT_NE(net, nullptr) << who;
+    ASSERT_NE(sa, nullptr) << who;
+    ASSERT_NE(bar, nullptr) << who;
+    for (const obs::SpanRecord* s : {aroot, susp, net, sa, bar}) {
+      EXPECT_FALSE(s->open) << who << " " << s->name;
+    }
+    EXPECT_EQ(susp->parent, aroot->id);
+    EXPECT_EQ(net->parent, aroot->id);
+    EXPECT_EQ(sa->parent, aroot->id);
+    EXPECT_EQ(bar->parent, aroot->id);
+    EXPECT_LE(susp->end, net->start);
+    EXPECT_LE(net->end, sa->start);
+    // Meta-data left this agent before the manager's sync point.
+    EXPECT_LE(net->end, meta->end) << who;
+    last_standalone_end = std::max(last_standalone_end, sa->end);
+  }
+  // The slowest standalone checkpoint overlapped the barrier: it was
+  // still copying when the manager broadcast 'continue' (Figure 2).
+  EXPECT_GE(last_standalone_end, meta->end);
 }
 
 TEST_F(CoordinatedTest, FsSnapshotTakenBeforeResume) {

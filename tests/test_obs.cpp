@@ -1,0 +1,309 @@
+// Telemetry subsystem: metrics registry, virtual-time spans, and the
+// zapc.obs.v1 JSON evidence exporter.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace zapc::obs {
+namespace {
+
+// ---- Metrics ---------------------------------------------------------------
+
+TEST(Metrics, CounterIncrements) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.hits");
+  EXPECT_EQ(c.value, 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value, 42u);
+  // Same name returns the same object (stable address for caching).
+  EXPECT_EQ(&reg.counter("a.hits"), &c);
+  EXPECT_EQ(reg.counter("a.hits").value, 42u);
+}
+
+TEST(Metrics, GaugeTracksHighWaterMark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("a.depth");
+  g.set(10);
+  g.set(3);
+  EXPECT_EQ(g.value, 3);
+  EXPECT_EQ(g.max_seen, 10);
+  g.add(-5);
+  EXPECT_EQ(g.value, -2);
+  EXPECT_EQ(g.max_seen, 10);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  Histogram h(std::vector<u64>{10, 100, 1000});
+  h.observe(5);      // bucket 0 (<= 10)
+  h.observe(10);     // bucket 0 (boundary inclusive)
+  h.observe(500);    // bucket 2
+  h.observe(50000);  // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 0u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5u + 10u + 500u + 50000u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 50000u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.counts()[0], 0u);
+}
+
+TEST(Metrics, RegistryResetKeepsAddresses) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  Gauge& g = reg.gauge("y");
+  Histogram& h = reg.histogram("z");
+  c.inc(7);
+  g.set(9);
+  h.observe(123);
+  reg.reset();
+  EXPECT_EQ(&reg.counter("x"), &c);
+  EXPECT_EQ(&reg.gauge("y"), &g);
+  EXPECT_EQ(&reg.histogram("z"), &h);
+  EXPECT_EQ(c.value, 0u);
+  EXPECT_EQ(g.value, 0);
+  EXPECT_EQ(g.max_seen, 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, SnapshotDiffSubtractsCountersKeepsGauges) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(10);
+  reg.gauge("g").set(5);
+  reg.histogram("h", {100}).observe(50);
+  MetricsSnapshot before = reg.snapshot();
+
+  reg.counter("c").inc(32);
+  reg.gauge("g").set(2);
+  reg.histogram("h").observe(70);
+  reg.counter("new").inc(1);  // born after the baseline
+  MetricsSnapshot diff = reg.snapshot().diff_since(before);
+
+  EXPECT_EQ(diff.counters.at("c"), 32u);
+  EXPECT_EQ(diff.counters.at("new"), 1u);
+  EXPECT_EQ(diff.gauges.at("g").value, 2);   // level, not a delta
+  EXPECT_EQ(diff.gauges.at("g").max_seen, 5);
+  EXPECT_EQ(diff.histograms.at("h").count, 1u);
+  EXPECT_EQ(diff.histograms.at("h").sum, 70u);
+  EXPECT_EQ(diff.histograms.at("h").counts[0], 1u);
+}
+
+TEST(Metrics, GlobalRegistryIsStable) {
+  Counter& c = metrics().counter("test_obs.global");
+  u64 base = c.value;
+  metrics().counter("test_obs.global").inc();
+  EXPECT_EQ(c.value, base + 1);
+}
+
+// ---- Spans -----------------------------------------------------------------
+
+TEST(Spans, ExplicitTimeStamping) {
+  SpanRecorder rec;
+  SpanId root = rec.begin_at(100, "ckpt", "agent@n1");
+  SpanId child = rec.begin_at(120, "ckpt.suspend", "agent@n1", root);
+  rec.end_at(150, child);
+  rec.event_at(160, "agent@n1", "2a: meta-data reported", root);
+  rec.end_at(400, root);
+
+  ASSERT_EQ(rec.spans().size(), 3u);
+  const SpanRecord* r = rec.find(root);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->start, 100u);
+  EXPECT_EQ(r->end, 400u);
+  EXPECT_FALSE(r->open);
+  const SpanRecord* c = rec.find(child);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(rec.duration(child), 30u);
+  const SpanRecord* e = rec.find_by_name("2a: meta-data reported");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, SpanKind::EVENT);
+  EXPECT_EQ(e->start, 160u);
+  EXPECT_EQ(e->end, 160u);
+}
+
+TEST(Spans, EndIsIdempotentAndInvalidIdsIgnored) {
+  SpanRecorder rec;
+  SpanId id = rec.begin_at(10, "a", "w");
+  rec.end_at(20, id);
+  rec.end_at(99, id);  // already closed: ignored
+  EXPECT_EQ(rec.find(id)->end, 20u);
+  rec.end_at(5, 0);    // id 0 = none
+  rec.end_at(5, 777);  // out of range
+  EXPECT_EQ(rec.open_spans(), 0u);
+}
+
+TEST(Spans, ClockedRaiiNesting) {
+  SpanRecorder rec;
+  Time now = 1000;
+  rec.set_clock([&now] { return now; });
+  {
+    Span outer(&rec, "outer", "test");
+    now = 1100;
+    {
+      Span inner(&rec, "inner", "test");
+      EXPECT_EQ(rec.current(), inner.id());
+      now = 1150;
+    }
+    EXPECT_EQ(rec.current(), outer.id());
+    now = 1300;
+  }
+  EXPECT_EQ(rec.current(), 0u);
+  const SpanRecord* outer = rec.find_by_name("outer");
+  const SpanRecord* inner = rec.find_by_name("inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(outer->start, 1000u);
+  EXPECT_EQ(outer->end, 1300u);
+  EXPECT_EQ(inner->start, 1100u);
+  EXPECT_EQ(inner->end, 1150u);
+}
+
+TEST(Spans, NullRecorderIsNoop) {
+  Span s(nullptr, "nothing");
+  EXPECT_EQ(s.id(), 0u);
+}
+
+TEST(Spans, FindByNameFiltersOnWho) {
+  SpanRecorder rec;
+  rec.begin_at(1, "ckpt", "agent@n1");
+  rec.begin_at(2, "ckpt", "agent@n2");
+  EXPECT_EQ(rec.find_by_name("ckpt", "agent@n2")->start, 2u);
+  EXPECT_EQ(rec.find_by_name("ckpt")->start, 1u);  // first match
+  EXPECT_EQ(rec.find_by_name("ckpt", "agent@n9"), nullptr);
+}
+
+TEST(Spans, ClearKeepsClock) {
+  SpanRecorder rec;
+  rec.set_clock([] { return Time{77}; });
+  rec.begin_at(1, "x", "w");
+  rec.clear();
+  EXPECT_EQ(rec.spans().size(), 0u);
+  EXPECT_TRUE(rec.has_clock());
+  EXPECT_EQ(rec.now(), 77u);
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+TEST(Json, ParseDumpRoundTrip) {
+  std::string text =
+      R"({"a":[1,2.5,true,null,"s\n"],"b":{"nested":-7},"c":18446744073709551615})";
+  auto parsed = json_parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  const Json& j = parsed.value();
+  ASSERT_TRUE(j.is_obj());
+  const Json* a = j.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_arr());
+  ASSERT_EQ(a->size(), 5u);
+  EXPECT_EQ(a->items()[0].num_u64(), 1u);
+  EXPECT_DOUBLE_EQ(a->items()[1].num(), 2.5);
+  EXPECT_TRUE(a->items()[2].boolean());
+  EXPECT_TRUE(a->items()[3].is_null());
+  EXPECT_EQ(a->items()[4].str(), "s\n");
+  EXPECT_EQ(j.find("b")->find("nested")->num_i64(), -7);
+
+  // dump → parse → dump is byte-stable (sorted keys, fixed formats).
+  std::string once = j.dump();
+  auto again = json_parse(once);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().dump(), once);
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(json_parse("{").is_ok());
+  EXPECT_FALSE(json_parse("[1,]").is_ok());
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing").is_ok());
+  EXPECT_FALSE(json_parse("nul").is_ok());
+  EXPECT_FALSE(json_parse("\"unterminated").is_ok());
+}
+
+TEST(Json, IntegralDoublesPrintAsIntegers) {
+  Json j = Json::object();
+  j["n"] = u64{123456789};
+  j["f"] = 0.5;
+  EXPECT_EQ(j.dump(), R"({"f":0.5,"n":123456789})");
+}
+
+TEST(Json, SnapshotRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("net.tcp.retransmits").inc(3);
+  reg.gauge("sim.queue_depth").set(11);
+  reg.gauge("sim.queue_depth").set(4);
+  reg.histogram("agent.ckpt.suspend_us", {100, 1000}).observe(250);
+  MetricsSnapshot snap = reg.snapshot();
+
+  Json j = snapshot_to_json(snap);
+  auto back = snapshot_from_json(j);
+  ASSERT_TRUE(back.is_ok()) << back.status().message();
+  const MetricsSnapshot& s = back.value();
+  EXPECT_EQ(s.counters.at("net.tcp.retransmits"), 3u);
+  EXPECT_EQ(s.gauges.at("sim.queue_depth").value, 4);
+  EXPECT_EQ(s.gauges.at("sim.queue_depth").max_seen, 11);
+  const HistogramValue& h = s.histograms.at("agent.ckpt.suspend_us");
+  ASSERT_EQ(h.bounds, (std::vector<u64>{100, 1000}));
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.sum, 250u);
+
+  // Serialization is deterministic.
+  EXPECT_EQ(snapshot_to_json(s).dump(), j.dump());
+}
+
+TEST(Json, EvidenceSchema) {
+  MetricsRegistry reg;
+  reg.counter("net.filter.dropped").inc(2);
+  SpanRecorder rec;
+  SpanId root = rec.begin_at(10, "ckpt", "agent@n1");
+  rec.event_at(15, "agent@n1", "note", root);
+  rec.end_at(90, root);
+  SpanId open = rec.begin_at(95, "restart", "agent@n1");
+  (void)open;
+
+  Json doc = evidence_json("unit", reg.snapshot(), &rec);
+  // Validate against the exporter's own parser.
+  auto parsed = json_parse(doc.dump(2));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  const Json& j = parsed.value();
+  ASSERT_NE(j.find("schema"), nullptr);
+  EXPECT_EQ(j.find("schema")->str(), kSchemaVersion);
+  EXPECT_EQ(j.find("name")->str(), "unit");
+  const Json* m = j.find("metrics");
+  ASSERT_NE(m, nullptr);
+  ASSERT_NE(m->find("counters"), nullptr);
+  EXPECT_EQ(m->find("counters")->find("net.filter.dropped")->num_u64(), 2u);
+  const Json* spans = j.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 3u);
+  const Json& s0 = spans->items()[0];
+  EXPECT_EQ(s0.find("name")->str(), "ckpt");
+  EXPECT_EQ(s0.find("who")->str(), "agent@n1");
+  EXPECT_EQ(s0.find("kind")->str(), "span");
+  EXPECT_EQ(s0.find("start_us")->num_u64(), 10u);
+  EXPECT_EQ(s0.find("end_us")->num_u64(), 90u);
+  EXPECT_EQ(s0.find("open"), nullptr);  // closed spans omit the flag
+  EXPECT_EQ(spans->items()[1].find("kind")->str(), "event");
+  const Json& s2 = spans->items()[2];
+  ASSERT_NE(s2.find("open"), nullptr);
+  EXPECT_TRUE(s2.find("open")->boolean());
+
+  // Without a recorder the spans section is omitted entirely.
+  Json no_spans = evidence_json("unit", reg.snapshot());
+  EXPECT_EQ(no_spans.find("spans"), nullptr);
+}
+
+}  // namespace
+}  // namespace zapc::obs
