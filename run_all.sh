@@ -25,4 +25,14 @@ bench_rc=${PIPESTATUS[0]}
 if [ "$bench_rc" -ne 0 ]; then
   exit "$bench_rc"
 fi
-echo "All tests and benches passed; JSON evidence under bench_results/."
+
+# Offline protocol validation of the freshly written evidence.  The
+# canonical timeline is checked strictly; the ablation sweep includes a
+# deliberate NETWORK_LAST configuration, so the ordering check is
+# relaxed for everything else.
+./build/tools/zapc-trace --validate bench_results/fig2_timeline.json
+for f in bench_results/*.json; do
+  [ "$f" = bench_results/fig2_timeline.json ] && continue
+  ./build/tools/zapc-trace --validate --allow-network-last "$f"
+done
+echo "All tests, benches, and trace validation passed; JSON evidence under bench_results/."

@@ -4,6 +4,7 @@
 
 #include "core/netckpt.h"
 #include "net/tcp.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/log.h"
 
@@ -81,6 +82,18 @@ void Agent::trace(const std::string& what) {
   }
 }
 
+void Agent::trace_op(const std::string& what, obs::OpId op,
+                     obs::SpanId parent) {
+  if (trace_ != nullptr) {
+    trace_->add(node_.now(), "agent@" + node_.name(), what, parent, op);
+  }
+}
+
+obs::ObsTag Agent::tag(obs::OpId op, obs::SpanId parent) {
+  return obs::ObsTag{rec(), who(), op, parent,
+                     [this] { return node_.now(); }};
+}
+
 // ---- Pod hosting ---------------------------------------------------------------
 
 pod::Pod& Agent::create_pod(net::IpAddr vip, const std::string& name) {
@@ -129,8 +142,14 @@ void Agent::on_msg(Conn* conn, Bytes msg) {
     }
     case MsgType::CONTINUE: {
       if (conn->ckpt) {
+        auto cont = decode_continue(msg);
         conn->ckpt->continue_received = true;
-        trace("3a: continue received for " + conn->ckpt->cmd.pod_name);
+        // The Manager's 'continue' EVENT id is the cross-node parent of
+        // everything this agent does from here on (unblock, resume,
+        // first retransmit) — the causal edge of the Figure-2 barrier.
+        if (cont) conn->ckpt->continue_event = cont.value().continue_event;
+        trace_op("3a: continue received for " + conn->ckpt->cmd.pod_name,
+                 conn->ckpt->cmd.op_id, conn->ckpt->continue_event);
         ckpt_maybe_finish(conn->ckpt);
       }
       break;
@@ -142,7 +161,11 @@ void Agent::on_msg(Conn* conn, Bytes msg) {
     }
     case MsgType::STREAM_OPEN: {
       auto m = decode_stream_open(msg);
-      if (m) streams_[m.value().tag] = Stream{};
+      if (m) {
+        Stream s;
+        s.op_id = m.value().op_id;
+        streams_[m.value().tag] = std::move(s);
+      }
       break;
     }
     case MsgType::STREAM_CHUNK: {
@@ -155,8 +178,9 @@ void Agent::on_msg(Conn* conn, Bytes msg) {
       if (!m) break;
       const std::string& tag = m.value().tag;
       streams_[tag].complete = true;
-      trace("stream " + tag + " complete (" +
-            std::to_string(streams_[tag].data.size()) + " bytes)");
+      trace_op("stream " + tag + " complete (" +
+                   std::to_string(streams_[tag].data.size()) + " bytes)",
+               streams_[tag].op_id, 0);
       auto wit = waiting_restarts_.find(tag);
       if (wit != waiting_restarts_.end()) {
         auto op = wit->second;
@@ -209,6 +233,7 @@ void Agent::ckpt_begin(Conn* conn, CheckpointCmd cmd) {
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) {
     CkptDone done;
+    done.op_id = op->cmd.op_id;
     done.pod_name = op->cmd.pod_name;
     done.ok = false;
     done.error = "no such pod";
@@ -218,14 +243,19 @@ void Agent::ckpt_begin(Conn* conn, CheckpointCmd cmd) {
   }
 
   if (obs::SpanRecorder* r = rec()) {
-    op->span_root = r->begin_at(op->t_start, "ckpt", who());
-    op->span_suspend =
-        r->begin_at(op->t_start, "ckpt.suspend", who(), op->span_root);
+    // cmd.parent_span is the Manager's root span: with a shared recorder
+    // (Testbed/Trace) the agent's subtree hangs off the Manager's op.
+    op->span_root = r->begin_at(op->t_start, "ckpt", who(),
+                                op->cmd.parent_span, op->cmd.op_id);
+    op->span_suspend = r->begin_at(op->t_start, "ckpt.suspend", who(),
+                                   op->span_root, op->cmd.op_id);
   }
 
   // Step 1: suspend the pod and block its network.
-  trace("1: suspend pod " + op->cmd.pod_name + ", block network");
+  trace_op("1: suspend pod " + op->cmd.pod_name + ", block network",
+           op->cmd.op_id, op->span_root);
   pod->suspend();
+  pod->filter().set_obs_tag(tag(op->cmd.op_id, op->span_suspend));
   pod->filter().block_addr(pod->vip());
   if (ordering_ == CkptOrdering::NETWORK_FIRST) {
     after(costs_.suspend_cost(pod->process_count()),
@@ -248,8 +278,8 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
       .observe(node_.now() - op->t_start);
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(node_.now(), op->span_suspend);
-    op->span_standalone =
-        r->begin_at(node_.now(), "ckpt.standalone", who(), op->span_root);
+    op->span_standalone = r->begin_at(node_.now(), "ckpt.standalone", who(),
+                                      op->span_root, op->cmd.op_id);
   }
 
   op->image.header = ckpt::Standalone::save_header(*pod);
@@ -266,7 +296,8 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
     if (obs::SpanRecorder* r = rec()) {
       r->end_at(node_.now(), op->span_standalone);
     }
-    trace("3(early): standalone checkpoint done for " + op->cmd.pod_name);
+    trace_op("3(early): standalone checkpoint done for " + op->cmd.pod_name,
+             op->cmd.op_id, op->span_root);
     ckpt_network_post(op);
   });
 }
@@ -277,11 +308,12 @@ void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
   if (obs::SpanRecorder* r = rec()) {
-    op->span_netckpt =
-        r->begin_at(node_.now(), "ckpt.netckpt", who(), op->span_root);
+    op->span_netckpt = r->begin_at(node_.now(), "ckpt.netckpt", who(),
+                                   op->span_root, op->cmd.op_id);
   }
 
-  Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets);
+  Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets,
+                                  tag(op->cmd.op_id, op->span_netckpt));
   if (!st) return ckpt_abort(op, st.to_string());
   if (gm::GmDevice* dev = pod->gm_device_if_present()) {
     op->image.has_gm_device = true;
@@ -299,8 +331,10 @@ void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
     if (obs::SpanRecorder* r = rec()) {
       r->end_at(node_.now(), op->span_netckpt);
     }
-    trace("2(late): network checkpoint done for " + op->cmd.pod_name);
+    trace_op("2(late): network checkpoint done for " + op->cmd.pod_name,
+             op->cmd.op_id, op->span_root);
     MetaReport report;
+    report.op_id = op->cmd.op_id;
     report.pod_name = op->cmd.pod_name;
     report.meta = op->image.meta;
     report.net_ckpt_us = cost;
@@ -320,12 +354,13 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
       .observe(node_.now() - op->t_start);
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(node_.now(), op->span_suspend);
-    op->span_netckpt =
-        r->begin_at(node_.now(), "ckpt.netckpt", who(), op->span_root);
+    op->span_netckpt = r->begin_at(node_.now(), "ckpt.netckpt", who(),
+                                   op->span_root, op->cmd.op_id);
   }
 
   // Step 2: network-state checkpoint (sockets + kernel-bypass device).
-  Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets);
+  Status st = NetCheckpoint::save(*pod, op->image.meta, op->image.sockets,
+                                  tag(op->cmd.op_id, op->span_netckpt));
   if (!st) return ckpt_abort(op, st.to_string());
   if (gm::GmDevice* dev = pod->gm_device_if_present()) {
     op->image.has_gm_device = true;
@@ -345,14 +380,17 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
     }
     // Step 2a: report meta-data to the Manager, then immediately proceed
     // with the standalone checkpoint (the barrier overlaps it).
-    trace("2: network checkpoint done for " + op->cmd.pod_name + " (" +
-          std::to_string(cost) + "us)");
+    trace_op("2: network checkpoint done for " + op->cmd.pod_name + " (" +
+                 std::to_string(cost) + "us)",
+             op->cmd.op_id, op->span_root);
     MetaReport report;
+    report.op_id = op->cmd.op_id;
     report.pod_name = op->cmd.pod_name;
     report.meta = op->image.meta;
     report.net_ckpt_us = cost;
     (void)op->mgr->send(encode_meta_report(report));
-    trace("2a: meta-data reported for " + op->cmd.pod_name);
+    trace_op("2a: meta-data reported for " + op->cmd.pod_name,
+             op->cmd.op_id, op->span_root);
     ckpt_standalone(op);
   });
 }
@@ -363,8 +401,8 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
   if (obs::SpanRecorder* r = rec()) {
-    op->span_standalone =
-        r->begin_at(node_.now(), "ckpt.standalone", who(), op->span_root);
+    op->span_standalone = r->begin_at(node_.now(), "ckpt.standalone", who(),
+                                      op->span_root, op->cmd.op_id);
   }
 
   // Step 3: standalone pod checkpoint (Zap substrate).
@@ -390,6 +428,7 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
       }
       if (!peer_known) continue;
       RedirectData rd;
+      rd.op_id = op->cmd.op_id;
       rd.dst_pod_vip = s.remote.ip;
       rd.dst_local = s.remote;
       rd.dst_remote = s.local;
@@ -408,8 +447,9 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
   after(cost, [this, op, cost, encoded = std::move(encoded)]() mutable {
     if (op->aborted) return;
     obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
-    trace("3: standalone checkpoint done for " + op->cmd.pod_name + " (" +
-          std::to_string(encoded.size()) + " bytes)");
+    trace_op("3: standalone checkpoint done for " + op->cmd.pod_name + " (" +
+                 std::to_string(encoded.size()) + " bytes)",
+             op->cmd.op_id, op->span_root);
     op->encoded_image = std::move(encoded);
     ckpt_standalone_done(op);
   });
@@ -420,8 +460,8 @@ void Agent::ckpt_standalone_done(const std::shared_ptr<CkptOp>& op) {
   op->t_standalone_done = node_.now();
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(node_.now(), op->span_standalone);  // no-op if already closed
-    op->span_barrier =
-        r->begin_at(node_.now(), "ckpt.barrier", who(), op->span_root);
+    op->span_barrier = r->begin_at(node_.now(), "ckpt.barrier", who(),
+                                   op->span_root, op->cmd.op_id);
   }
   deliver_image(op);
   ckpt_maybe_finish(op);
@@ -443,7 +483,8 @@ void Agent::deliver_image(const std::shared_ptr<CkptOp>& op) {
     if (ch == nullptr) return ckpt_abort(op, "cannot reach stream target");
     MsgChannel* raw = ch.get();
     out_channels_.push_back(std::move(ch));
-    (void)raw->send(encode_stream_open(StreamOpen{uri.value().path}));
+    (void)raw->send(
+        encode_stream_open(StreamOpen{op->cmd.op_id, uri.value().path}));
     const Bytes& img = op->encoded_image;
     for (std::size_t off = 0; off < img.size(); off += kStreamChunk) {
       std::size_t n = std::min(kStreamChunk, img.size() - off);
@@ -501,16 +542,39 @@ void Agent::ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op) {
                            "snapshots/" + op->cmd.pod_name + "/");
     }
     if (op->cmd.mode == CkptMode::SNAPSHOT) {
+      pod->filter().clear_obs_tag();
       pod->filter().unblock_addr(pod->vip());
       pod->resume();
-      trace("4: pod " + op->cmd.pod_name + " resumed");
+      // Parented under the Manager's 'continue' EVENT: the cross-node
+      // causal edge (barrier release → this pod's unblock/resume).
+      if (obs::SpanRecorder* r = rec()) {
+        r->event_at(node_.now(), who(),
+                    "agent.resume pod=" + op->cmd.pod_name,
+                    op->continue_event, op->cmd.op_id);
+      }
+      // Suppressed retransmissions resume on their own once the filter
+      // opens; tag each established socket so the first one extends the
+      // causal tree down to the wire.
+      net::Stack& stack = pod->stack();
+      for (net::SockId sid : stack.all_socket_ids()) {
+        if (net::TcpSocket* t = stack.find_tcp(sid)) {
+          if (t->state() == net::TcpState::ESTABLISHED) {
+            t->tag_next_retransmit(tag(op->cmd.op_id, op->continue_event));
+          }
+        }
+      }
+      trace_op("4: pod " + op->cmd.pod_name + " resumed", op->cmd.op_id,
+               op->continue_event);
     } else {
+      pod->filter().clear_obs_tag();
       (void)destroy_pod(op->cmd.pod_name);
-      trace("4: pod " + op->cmd.pod_name + " destroyed (migration)");
+      trace_op("4: pod " + op->cmd.pod_name + " destroyed (migration)",
+               op->cmd.op_id, op->continue_event);
     }
   }
 
   CkptDone done;
+  done.op_id = op->cmd.op_id;
   done.pod_name = op->cmd.pod_name;
   done.ok = true;
   done.image_bytes = op->encoded_image.size();
@@ -526,6 +590,10 @@ void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
   op->finished = true;
   ZLOG_WARN("agent@" << node_.name() << ": checkpoint of "
                      << op->cmd.pod_name << " aborted: " << why);
+  // Flight-recorder dump before the spans close: the postmortem's
+  // `phase` is the phase still open at the moment of death.
+  obs::dump_op_failure(rec(), "ckpt_abort", op->cmd.op_id, who(), why,
+                       node_.now());
   if (obs::SpanRecorder* r = rec()) {
     // Close whichever phases were open at abort time (no-ops otherwise).
     r->end_at(node_.now(), op->span_suspend);
@@ -534,15 +602,17 @@ void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
     r->end_at(node_.now(), op->span_barrier);
     r->end_at(node_.now(), op->span_root);
   }
-  trace("abort: " + why);
+  trace_op("abort: " + why, op->cmd.op_id, op->span_root);
   // Gracefully resume the application (paper §4).
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod != nullptr) {
+    pod->filter().clear_obs_tag();
     pod->filter().unblock_addr(pod->vip());
     if (pod->suspended()) pod->resume();
   }
   if (op->mgr != nullptr) {
     CkptDone done;
+    done.op_id = op->cmd.op_id;
     done.pod_name = op->cmd.pod_name;
     done.ok = false;
     done.error = why;
@@ -559,7 +629,8 @@ void Agent::restart_begin(Conn* conn, RestartCmd cmd) {
   op->t_start = node_.now();
   conn->restart = op;
   if (obs::SpanRecorder* r = rec()) {
-    op->span_root = r->begin_at(op->t_start, "restart", who());
+    op->span_root = r->begin_at(op->t_start, "restart", who(),
+                                op->cmd.parent_span, op->cmd.op_id);
   }
 
   // Apply the virtual→real location updates ("substituting the
@@ -604,7 +675,8 @@ void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
   // Step 1: create a new pod.
   op->pod = &create_pod(op->image.header.vip, op->cmd.pod_name);
   ckpt::Standalone::restore_header(*op->pod, op->image.header);
-  trace("1: pod " + op->cmd.pod_name + " created for restart");
+  trace_op("1: pod " + op->cmd.pod_name + " created for restart",
+           op->cmd.op_id, op->span_root);
 
   // Step 2: recover network connectivity.
   std::set<net::SockId> referenced;
@@ -617,8 +689,9 @@ void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
   }
 
   if (obs::SpanRecorder* r = rec()) {
-    op->span_connectivity = r->begin_at(node_.now(), "restart.connectivity",
-                                        who(), op->span_root);
+    op->span_connectivity =
+        r->begin_at(node_.now(), "restart.connectivity", who(),
+                    op->span_root, op->cmd.op_id);
   }
   op->connectivity = std::make_unique<ConnectivityRestore>(
       *op->pod, op->cmd.meta, op->image.sockets, std::move(unreferenced),
@@ -626,6 +699,7 @@ void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
       [this, op](Status st, ckpt::SockMap map) {
         restart_connectivity_done(op, std::move(st), std::move(map));
       });
+  op->connectivity->set_obs_tag(tag(op->cmd.op_id, op->span_connectivity));
   op->connectivity->start();
 }
 
@@ -640,7 +714,8 @@ void Agent::restart_connectivity_done(const std::shared_ptr<RestartOp>& op,
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(op->t_conn_done, op->span_connectivity);
   }
-  trace("2: connectivity recovered for " + op->cmd.pod_name);
+  trace_op("2: connectivity recovered for " + op->cmd.pod_name,
+           op->cmd.op_id, op->span_root);
   restart_wait_redirects(op, /*waited=*/0);
 }
 
@@ -681,8 +756,8 @@ void Agent::restart_wait_redirects(const std::shared_ptr<RestartOp>& op,
 
 void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
   if (obs::SpanRecorder* r = rec()) {
-    op->span_netstate =
-        r->begin_at(node_.now(), "restart.netstate", who(), op->span_root);
+    op->span_netstate = r->begin_at(node_.now(), "restart.netstate", who(),
+                                    op->span_root, op->cmd.op_id);
   }
   // Step 3: restore the network state of every socket (and the
   // kernel-bypass device, if the pod had one).
@@ -719,8 +794,10 @@ void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
       }
     }
     restored_bytes += img.byte_size() + extra.size();
-    Status st = NetCheckpoint::restore_socket(*op->pod, mit->second, img,
-                                              discard, extra);
+    Status st =
+        NetCheckpoint::restore_socket(*op->pod, mit->second, img, discard,
+                                      extra,
+                                      tag(op->cmd.op_id, op->span_netstate));
     if (!st) return restart_finish(op, st);
   }
 
@@ -732,7 +809,8 @@ void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
     if (obs::SpanRecorder* r = rec()) {
       r->end_at(op->t_net_done, op->span_netstate);
     }
-    trace("3: network state restored for " + op->cmd.pod_name);
+    trace_op("3: network state restored for " + op->cmd.pod_name,
+             op->cmd.op_id, op->span_root);
     restart_standalone(op);
   });
 }
@@ -740,7 +818,8 @@ void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
 void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
   if (obs::SpanRecorder* r = rec()) {
     op->span_standalone =
-        r->begin_at(node_.now(), "restart.standalone", who(), op->span_root);
+        r->begin_at(node_.now(), "restart.standalone", who(), op->span_root,
+                    op->cmd.op_id);
   }
   // Step 4: standalone restart.
   Status st = ckpt::Standalone::restore_processes(*op->pod,
@@ -756,7 +835,8 @@ void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
       image_bytes, op->image.processes.size());
   after(cost, [this, op, cost] {
     obs::metrics().histogram("agent.restart.standalone_us").observe(cost);
-    trace("4: standalone restart done for " + op->cmd.pod_name);
+    trace_op("4: standalone restart done for " + op->cmd.pod_name,
+             op->cmd.op_id, op->span_root);
     op->pod->resume();
     restart_finish(op, Status::ok());
   });
@@ -775,6 +855,7 @@ void Agent::restart_finish(const std::shared_ptr<RestartOp>& op, Status st) {
     (void)destroy_pod(op->cmd.pod_name);  // clean up the partial pod
   }
   RestartDone done;
+  done.op_id = op->cmd.op_id;
   done.pod_name = op->cmd.pod_name;
   done.ok = st.is_ok();
   done.error = st.message();
@@ -783,8 +864,9 @@ void Agent::restart_finish(const std::shared_ptr<RestartOp>& op, Status st) {
       op->t_conn_done > op->t_start ? op->t_conn_done - op->t_start : 0;
   done.net_restore_us =
       op->t_net_done > op->t_conn_done ? op->t_net_done - op->t_conn_done : 0;
-  trace("5: restart of " + op->cmd.pod_name +
-        (st.is_ok() ? " done" : " FAILED: " + st.to_string()));
+  trace_op("5: restart of " + op->cmd.pod_name +
+               (st.is_ok() ? " done" : " FAILED: " + st.to_string()),
+           op->cmd.op_id, op->span_root);
   if (op->mgr != nullptr) (void)op->mgr->send(encode_restart_done(done));
 }
 

@@ -76,6 +76,9 @@ class Agent {
     bool standalone_done = false;
     bool finished = false;
     bool aborted = false;
+    // Id of the Manager's 'mgr.continue' EVENT (from the CONTINUE
+    // message): the cross-node parent of this agent's resume records.
+    obs::SpanId continue_event = 0;
     // Phase spans (Figure 2 breakdown); 0 when tracing is off.
     obs::SpanId span_root = 0;        // "ckpt"
     obs::SpanId span_suspend = 0;     // "ckpt.suspend"
@@ -139,10 +142,14 @@ class Agent {
   void restart_finish(const std::shared_ptr<RestartOp>& op, Status st);
 
   void trace(const std::string& what);
+  /// Causally-tagged trace event for a coordinated op this agent serves.
+  void trace_op(const std::string& what, obs::OpId op, obs::SpanId parent);
   /// Span stream behind the trace (nullptr when tracing is off).
   obs::SpanRecorder* rec() {
     return trace_ != nullptr ? &trace_->recorder() : nullptr;
   }
+  /// Causal-trace context for handing down into filter/TCP/netckpt.
+  obs::ObsTag tag(obs::OpId op, obs::SpanId parent);
   std::string who() const { return "agent@" + node_.name(); }
   template <typename Fn>
   void after(sim::Time delay, Fn&& fn);
@@ -161,6 +168,7 @@ class Agent {
   struct Stream {
     Bytes data;
     bool complete = false;
+    obs::OpId op_id = 0;  // Operation that opened the stream.
   };
   std::map<std::string, Stream> streams_;
   // Restarts waiting for a stream to finish arriving.

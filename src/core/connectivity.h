@@ -20,6 +20,7 @@
 
 #include "ckpt/image.h"
 #include "ckpt/standalone.h"
+#include "obs/span.h"
 #include "pod/pod.h"
 
 namespace zapc::core {
@@ -44,6 +45,10 @@ class ConnectivityRestore {
   void start();
 
   bool finished() const { return finished_; }
+
+  /// Causal-trace context: re-formed connections are recorded as
+  /// op-tagged events under the restart's connectivity span.
+  void set_obs_tag(obs::ObsTag tag) { tag_ = std::move(tag); }
 
   /// Ablation hook: process connection entries strictly one at a time in
   /// meta-table order (the naive single-threaded recovery the paper
@@ -86,6 +91,7 @@ class ConnectivityRestore {
   std::map<u16, net::SockId> temp_listeners_;  // created just for restart
   bool serial_ = false;
   bool finished_ = false;
+  obs::ObsTag tag_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/log.h"
 
@@ -14,6 +15,13 @@ Manager::~Manager() { *alive_ = false; }
 
 void Manager::trace(const std::string& what) {
   if (trace_ != nullptr) trace_->add(node_.now(), "manager", what);
+}
+
+void Manager::trace_op(const std::string& what, obs::OpId op,
+                       obs::SpanId parent) {
+  if (trace_ != nullptr) {
+    trace_->add(node_.now(), "manager", what, parent, op);
+  }
 }
 
 // ---- Checkpoint -----------------------------------------------------------------
@@ -32,10 +40,13 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
   op_->redirect = redirect_send_queues && mode == CkptMode::MIGRATE;
   op_->t_start = node_.now();
   op_->done_fn = std::move(done);
+  op_->op_id = obs::next_op_id();
+  obs::metrics().counter("mgr.ops_started").inc();
   if (obs::SpanRecorder* r = rec()) {
-    op_->span_root = r->begin_at(op_->t_start, "mgr.ckpt", "manager");
+    op_->span_root =
+        r->begin_at(op_->t_start, "mgr.ckpt", "manager", 0, op_->op_id);
     op_->span_meta_wait = r->begin_at(op_->t_start, "mgr.ckpt.meta_wait",
-                                      "manager", op_->span_root);
+                                      "manager", op_->span_root, op_->op_id);
   }
 
   // For the redirect optimization, every agent needs to know which agent
@@ -73,8 +84,9 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
     }
   }
 
-  trace("1: send 'checkpoint' to " + std::to_string(targets.size()) +
-        " agents");
+  trace_op("1: send 'checkpoint' to " + std::to_string(targets.size()) +
+               " agents",
+           op_->op_id, op_->span_root);
   op_->peers.reserve(targets.size());
   for (auto& t : targets) {
     CkptPeer peer;
@@ -97,6 +109,8 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
     });
 
     CheckpointCmd cmd;
+    cmd.op_id = op_->op_id;
+    cmd.parent_span = op_->span_root;
     cmd.pod_name = peer.target.pod_name;
     cmd.dest_uri = peer.target.uri;
     cmd.mode = mode;
@@ -121,7 +135,8 @@ void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
       op_->report.metas[m.value().pod_name] = m.value().meta;
       op_->report.max_net_ckpt_us =
           std::max(op_->report.max_net_ckpt_us, m.value().net_ckpt_us);
-      trace("2: meta-data received from " + peer.target.pod_name);
+      trace_op("2: meta-data received from " + peer.target.pod_name,
+               op_->op_id, op_->span_meta_wait);
       ckpt_maybe_continue();
       break;
     }
@@ -134,7 +149,8 @@ void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
         return ckpt_fail("agent reported failure for " +
                          m.value().pod_name + ": " + m.value().error);
       }
-      trace("4: 'done' received from " + peer.target.pod_name);
+      trace_op("4: 'done' received from " + peer.target.pod_name,
+               op_->op_id, op_->span_done_wait);
       ckpt_maybe_finish();
       break;
     }
@@ -157,14 +173,21 @@ void Manager::ckpt_maybe_continue() {
   // The single synchronization point (paper §4, Figure 2 "sync").
   op_->continued = true;
   op_->t_sync = node_.now();
+  ContinueMsg cont;
+  cont.op_id = op_->op_id;
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(op_->t_sync, op_->span_meta_wait);
     op_->span_done_wait = r->begin_at(op_->t_sync, "mgr.ckpt.done_wait",
-                                      "manager", op_->span_root);
+                                      "manager", op_->span_root, op_->op_id);
+    // The barrier decision itself: agents parent their resume under it,
+    // so the causal tree shows continue → unblock → first retransmit.
+    cont.continue_event = r->event_at(op_->t_sync, "manager", "mgr.continue",
+                                      op_->span_root, op_->op_id);
   }
-  trace("3: all meta-data in; send 'continue' to agents (sync point)");
+  trace_op("3: all meta-data in; send 'continue' to agents (sync point)",
+           op_->op_id, op_->span_root);
   for (CkptPeer& p : op_->peers) {
-    (void)p.ch->send(encode_continue());
+    (void)p.ch->send(encode_continue(cont));
   }
 }
 
@@ -175,6 +198,7 @@ void Manager::ckpt_maybe_finish() {
   op_->finished = true;
   CheckpointReport report = std::move(op_->report);
   report.ok = true;
+  report.op_id = op_->op_id;
   report.total_us = node_.now() - op_->t_start;
   report.sync_us = op_->t_sync - op_->t_start;
   for (const CkptPeer& p : op_->peers) {
@@ -193,7 +217,8 @@ void Manager::ckpt_maybe_finish() {
   obs::metrics().counter("mgr.checkpoints").inc();
   obs::metrics().histogram("mgr.ckpt.total_us").observe(report.total_us);
   obs::metrics().histogram("mgr.ckpt.sync_wait_us").observe(report.sync_us);
-  trace("checkpoint complete in " + std::to_string(report.total_us) + "us");
+  trace_op("checkpoint complete in " + std::to_string(report.total_us) + "us",
+           op_->op_id, op_->span_root);
   CheckpointDoneFn fn = std::move(op_->done_fn);
   op_.reset();
   fn(std::move(report));
@@ -203,21 +228,24 @@ void Manager::ckpt_fail(const std::string& why) {
   if (op_ == nullptr || op_->finished) return;
   op_->finished = true;
   ZLOG_WARN("manager: checkpoint failed: " << why);
+  obs::dump_op_failure(rec(), "ckpt_fail", op_->op_id, "manager", why,
+                       node_.now());
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(node_.now(), op_->span_meta_wait);
     r->end_at(node_.now(), op_->span_done_wait);
     r->end_at(node_.now(), op_->span_root);
   }
   obs::metrics().counter("mgr.checkpoint_failures").inc();
-  trace("checkpoint ABORTED: " + why);
+  trace_op("checkpoint ABORTED: " + why, op_->op_id, op_->span_root);
   for (CkptPeer& p : op_->peers) {
     if (p.ch != nullptr && p.ch->open()) {
-      (void)p.ch->send(encode_abort(why));
+      (void)p.ch->send(encode_abort(AbortMsg{op_->op_id, why}));
     }
   }
   CheckpointReport report;
   report.ok = false;
   report.error = why;
+  report.op_id = op_->op_id;
   CheckpointDoneFn fn = std::move(op_->done_fn);
   op_.reset();
   fn(std::move(report));
@@ -327,12 +355,33 @@ void Manager::restart(std::vector<Target> targets,
   rop_ = std::make_unique<RestartState>();
   rop_->t_start = node_.now();
   rop_->done_fn = std::move(done);
+  rop_->op_id = obs::next_op_id();
+  obs::metrics().counter("mgr.ops_started").inc();
   if (obs::SpanRecorder* r = rec()) {
-    rop_->span_root = r->begin_at(rop_->t_start, "mgr.restart", "manager");
+    rop_->span_root = r->begin_at(rop_->t_start, "mgr.restart", "manager", 0,
+                                  rop_->op_id);
+    // The restart schedule: record each connection's discard/redirect
+    // decision so the offline analyzer can check recv >= acked on the
+    // restored pairs without the images.
+    for (const auto& [vip, meta] : plan.value().pod_meta) {
+      for (const auto& e : meta.entries) {
+        if (e.state != ckpt::ConnState::FULL_DUPLEX &&
+            e.state != ckpt::ConnState::HALF_DUPLEX) {
+          continue;
+        }
+        r->event_at(rop_->t_start, "manager",
+                    "sched.conn vip=" + vip.to_string() + " peer=" +
+                        e.target.ip.to_string() +
+                        " discard=" + std::to_string(e.discard_send) +
+                        (e.redirect_expected ? " redirect" : ""),
+                    rop_->span_root, rop_->op_id);
+      }
+    }
   }
 
-  trace("1: send 'restart' + meta-data to " +
-        std::to_string(targets.size()) + " agents");
+  trace_op("1: send 'restart' + meta-data to " +
+               std::to_string(targets.size()) + " agents",
+           rop_->op_id, rop_->span_root);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     RestartPeer peer;
     peer.target = targets[i];
@@ -357,6 +406,8 @@ void Manager::restart(std::vector<Target> targets,
     });
 
     RestartCmd cmd;
+    cmd.op_id = rop_->op_id;
+    cmd.parent_span = rop_->span_root;
     cmd.pod_name = peer.target.pod_name;
     cmd.source_uri = peer.target.uri;
     cmd.meta = plan.value().pod_meta[meta_list[i].pod_vip];
@@ -378,7 +429,8 @@ void Manager::restart_on_msg(std::size_t idx, Bytes msg) {
     return restart_fail("agent reported restart failure for " +
                         m.value().pod_name + ": " + m.value().error);
   }
-  trace("2: 'done' received from " + peer.target.pod_name);
+  trace_op("2: 'done' received from " + peer.target.pod_name, rop_->op_id,
+           rop_->span_root);
   restart_maybe_finish();
 }
 
@@ -395,6 +447,7 @@ void Manager::restart_maybe_finish() {
   rop_->finished = true;
   RestartReport report;
   report.ok = true;
+  report.op_id = rop_->op_id;
   report.total_us = node_.now() - rop_->t_start;
   for (const RestartPeer& p : rop_->peers) {
     report.agents.push_back(p.done);
@@ -406,7 +459,8 @@ void Manager::restart_maybe_finish() {
   if (obs::SpanRecorder* r = rec()) r->end_at(node_.now(), rop_->span_root);
   obs::metrics().counter("mgr.restarts").inc();
   obs::metrics().histogram("mgr.restart.total_us").observe(report.total_us);
-  trace("restart complete in " + std::to_string(report.total_us) + "us");
+  trace_op("restart complete in " + std::to_string(report.total_us) + "us",
+           rop_->op_id, rop_->span_root);
   RestartDoneFn fn = std::move(rop_->done_fn);
   rop_.reset();
   fn(std::move(report));
@@ -416,12 +470,15 @@ void Manager::restart_fail(const std::string& why) {
   if (rop_ == nullptr || rop_->finished) return;
   rop_->finished = true;
   ZLOG_WARN("manager: restart failed: " << why);
+  obs::dump_op_failure(rec(), "restart_fail", rop_->op_id, "manager", why,
+                       node_.now());
   if (obs::SpanRecorder* r = rec()) r->end_at(node_.now(), rop_->span_root);
   obs::metrics().counter("mgr.restart_failures").inc();
-  trace("restart ABORTED: " + why);
+  trace_op("restart ABORTED: " + why, rop_->op_id, rop_->span_root);
   RestartReport report;
   report.ok = false;
   report.error = why;
+  report.op_id = rop_->op_id;
   RestartDoneFn fn = std::move(rop_->done_fn);
   rop_.reset();
   fn(std::move(report));

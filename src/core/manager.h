@@ -41,6 +41,7 @@ class Manager {
   struct CheckpointReport {
     bool ok = false;
     std::string error;
+    obs::OpId op_id = 0;  // causal-trace id of this coordinated op
     std::vector<CkptDone> agents;          // per-pod completion reports
     std::map<std::string, ckpt::NetMeta> metas;  // pod name → meta-data
     sim::Time total_us = 0;     // invocation → all pods reported done
@@ -54,6 +55,7 @@ class Manager {
   struct RestartReport {
     bool ok = false;
     std::string error;
+    obs::OpId op_id = 0;
     std::vector<RestartDone> agents;
     sim::Time total_us = 0;
     u64 max_connectivity_us = 0;
@@ -131,6 +133,7 @@ class Manager {
     CheckpointDoneFn done_fn;
     bool continued = false;
     bool finished = false;
+    obs::OpId op_id = 0;
     obs::SpanId span_root = 0;       // "mgr.ckpt"
     obs::SpanId span_meta_wait = 0;  // invocation → sync point
     obs::SpanId span_done_wait = 0;  // sync point → all done
@@ -148,6 +151,7 @@ class Manager {
     RestartReport report;
     RestartDoneFn done_fn;
     bool finished = false;
+    obs::OpId op_id = 0;
     obs::SpanId span_root = 0;  // "mgr.restart"
   };
 
@@ -163,6 +167,8 @@ class Manager {
   void restart_fail(const std::string& why);
 
   void trace(const std::string& what);
+  /// Causally-tagged trace event for the active coordinated op.
+  void trace_op(const std::string& what, obs::OpId op, obs::SpanId parent);
   /// Span stream behind the trace (nullptr when tracing is off).
   obs::SpanRecorder* rec() {
     return trace_ != nullptr ? &trace_->recorder() : nullptr;

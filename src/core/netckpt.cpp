@@ -88,7 +88,8 @@ ckpt::ConnState NetCheckpoint::classify(const net::Socket& sock) {
 }
 
 Status NetCheckpoint::save(pod::Pod& pod, ckpt::NetMeta& meta_out,
-                           std::vector<ckpt::SocketImage>& sockets_out) {
+                           std::vector<ckpt::SocketImage>& sockets_out,
+                           const obs::ObsTag& tag) {
   net::Stack& stack = pod.stack();
   meta_out.pod_vip = pod.vip();
 
@@ -142,6 +143,13 @@ Status NetCheckpoint::save(pod::Pod& pod, ckpt::NetMeta& meta_out,
           entry.pcb_acked = img.pcb_acked;
           entry.pcb_recv = img.pcb_recv;
           meta_out.entries.push_back(entry);
+          if (img.connected) {
+            tag.event("net.sock.saved local=" + img.local.to_string() +
+                      " remote=" + img.remote.to_string() +
+                      " sent=" + std::to_string(img.pcb_sent) +
+                      " acked=" + std::to_string(img.pcb_acked) +
+                      " recv=" + std::to_string(img.pcb_recv));
+          }
         }
         break;
       }
@@ -168,9 +176,23 @@ Status NetCheckpoint::save(pod::Pod& pod, ckpt::NetMeta& meta_out,
 Status NetCheckpoint::restore_socket(pod::Pod& pod, net::SockId sock,
                                      const ckpt::SocketImage& image,
                                      u32 discard_send,
-                                     const Bytes& extra_recv) {
+                                     const Bytes& extra_recv,
+                                     const obs::ObsTag& tag) {
   net::Stack& stack = pod.stack();
   if (stack.find(sock) == nullptr) return Status(Err::BAD_FD);
+
+  if (image.proto == net::Proto::TCP && image.connected) {
+    tag.event("net.sock.restored local=" + image.local.to_string() +
+              " remote=" + image.remote.to_string() +
+              " recv=" + std::to_string(image.pcb_recv) +
+              " acked=" + std::to_string(image.pcb_acked) +
+              " discard=" + std::to_string(discard_send));
+    // The recovered send queue is resent through the ordinary data path;
+    // tag the first retransmission so the causal tree reaches the wire.
+    if (net::TcpSocket* t = stack.find_tcp(sock)) {
+      t->tag_next_retransmit(tag);
+    }
+  }
 
   // Socket parameters through the standard setsockopt interface.
   for (std::size_t i = 0; i < net::kNumSockOpts; ++i) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ckpt/image.h"
+#include "obs/span.h"
 #include "pod/pod.h"
 
 namespace zapc::core {
@@ -34,18 +35,25 @@ class NetCheckpoint {
   /// Captures the state of every socket in the pod and builds the
   /// connection meta-data table.  The pod must be suspended and its
   /// network blocked.  Non-destructive: drained receive queues are
-  /// re-injected via the alternate queue before returning.
+  /// re-injected via the alternate queue before returning.  `tag`
+  /// (optional) records a per-connection "net.sock.saved" event carrying
+  /// the PCB triple for the causal trace.
   static Status save(pod::Pod& pod, ckpt::NetMeta& meta_out,
-                     std::vector<ckpt::SocketImage>& sockets_out);
+                     std::vector<ckpt::SocketImage>& sockets_out,
+                     const obs::ObsTag& tag = {});
 
   /// Restores one socket's state onto `sock` (already created and, for
   /// established TCP, already re-connected).  `discard_send` is the
   /// Manager-computed overlap to drop from the send queue head.
   /// `extra_recv` is redirected peer send-queue data to append to the
   /// alternate queue (migration optimization), already overlap-trimmed.
+  /// `tag` records a "net.sock.restored" event with the saved recv/acked
+  /// sequence numbers, which is what lets the offline analyzer check the
+  /// paper's recv₁ ≥ acked₂ invariant across restored connection pairs.
   static Status restore_socket(pod::Pod& pod, net::SockId sock,
                                const ckpt::SocketImage& image,
-                               u32 discard_send, const Bytes& extra_recv);
+                               u32 discard_send, const Bytes& extra_recv,
+                               const obs::ObsTag& tag = {});
 
   /// Classifies a live socket for the meta-data table.
   static ckpt::ConnState classify(const net::Socket& sock);

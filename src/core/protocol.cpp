@@ -40,6 +40,8 @@ Result<MsgType> peek_type(const Bytes& msg) {
 
 Bytes encode_checkpoint_cmd(const CheckpointCmd& m) {
   Encoder e = header(MsgType::CHECKPOINT_CMD);
+  e.put_u64(m.op_id);
+  e.put_u32(m.parent_span);
   e.put_string(m.pod_name);
   e.put_string(m.dest_uri);
   e.put_u8(static_cast<u8>(m.mode));
@@ -58,6 +60,8 @@ Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg) {
   if (!dr) return dr.status();
   Decoder& d = dr.value();
   CheckpointCmd m;
+  m.op_id = d.u64_().value_or(0);
+  m.parent_span = d.u32_().value_or(0);
   m.pod_name = d.string_().value_or("");
   m.dest_uri = d.string_().value_or("");
   m.mode = static_cast<CkptMode>(d.u8_().value_or(0));
@@ -73,6 +77,7 @@ Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg) {
 
 Bytes encode_meta_report(const MetaReport& m) {
   Encoder e = header(MsgType::META_REPORT);
+  e.put_u64(m.op_id);
   e.put_string(m.pod_name);
   e.put_bytes(ckpt::encode_meta(m.meta));
   e.put_u64(m.net_ckpt_us);
@@ -84,6 +89,7 @@ Result<MetaReport> decode_meta_report(const Bytes& msg) {
   if (!dr) return dr.status();
   Decoder& d = dr.value();
   MetaReport m;
+  m.op_id = d.u64_().value_or(0);
   m.pod_name = d.string_().value_or("");
   auto meta = ckpt::decode_meta(d.bytes_().value_or({}));
   if (!meta) return meta.status();
@@ -92,10 +98,26 @@ Result<MetaReport> decode_meta_report(const Bytes& msg) {
   return m;
 }
 
-Bytes encode_continue() { return header(MsgType::CONTINUE).take(); }
+Bytes encode_continue(const ContinueMsg& m) {
+  Encoder e = header(MsgType::CONTINUE);
+  e.put_u64(m.op_id);
+  e.put_u32(m.continue_event);
+  return e.take();
+}
+
+Result<ContinueMsg> decode_continue(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::CONTINUE);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  ContinueMsg m;
+  m.op_id = d.u64_().value_or(0);
+  m.continue_event = d.u32_().value_or(0);
+  return m;
+}
 
 Bytes encode_ckpt_done(const CkptDone& m) {
   Encoder e = header(MsgType::CKPT_DONE);
+  e.put_u64(m.op_id);
   e.put_string(m.pod_name);
   e.put_bool(m.ok);
   e.put_string(m.error);
@@ -110,6 +132,7 @@ Result<CkptDone> decode_ckpt_done(const Bytes& msg) {
   if (!dr) return dr.status();
   Decoder& d = dr.value();
   CkptDone m;
+  m.op_id = d.u64_().value_or(0);
   m.pod_name = d.string_().value_or("");
   m.ok = d.bool_().value_or(false);
   m.error = d.string_().value_or("");
@@ -121,6 +144,8 @@ Result<CkptDone> decode_ckpt_done(const Bytes& msg) {
 
 Bytes encode_restart_cmd(const RestartCmd& m) {
   Encoder e = header(MsgType::RESTART_CMD);
+  e.put_u64(m.op_id);
+  e.put_u32(m.parent_span);
   e.put_string(m.pod_name);
   e.put_string(m.source_uri);
   e.put_bytes(ckpt::encode_meta(m.meta));
@@ -137,6 +162,8 @@ Result<RestartCmd> decode_restart_cmd(const Bytes& msg) {
   if (!dr) return dr.status();
   Decoder& d = dr.value();
   RestartCmd m;
+  m.op_id = d.u64_().value_or(0);
+  m.parent_span = d.u32_().value_or(0);
   m.pod_name = d.string_().value_or("");
   m.source_uri = d.string_().value_or("");
   auto meta = ckpt::decode_meta(d.bytes_().value_or({}));
@@ -153,6 +180,7 @@ Result<RestartCmd> decode_restart_cmd(const Bytes& msg) {
 
 Bytes encode_restart_done(const RestartDone& m) {
   Encoder e = header(MsgType::RESTART_DONE);
+  e.put_u64(m.op_id);
   e.put_string(m.pod_name);
   e.put_bool(m.ok);
   e.put_string(m.error);
@@ -167,6 +195,7 @@ Result<RestartDone> decode_restart_done(const Bytes& msg) {
   if (!dr) return dr.status();
   Decoder& d = dr.value();
   RestartDone m;
+  m.op_id = d.u64_().value_or(0);
   m.pod_name = d.string_().value_or("");
   m.ok = d.bool_().value_or(false);
   m.error = d.string_().value_or("");
@@ -178,6 +207,7 @@ Result<RestartDone> decode_restart_done(const Bytes& msg) {
 
 Bytes encode_stream_open(const StreamOpen& m) {
   Encoder e = header(MsgType::STREAM_OPEN);
+  e.put_u64(m.op_id);
   e.put_string(m.tag);
   return e.take();
 }
@@ -185,8 +215,10 @@ Bytes encode_stream_open(const StreamOpen& m) {
 Result<StreamOpen> decode_stream_open(const Bytes& msg) {
   auto dr = open_msg(msg, MsgType::STREAM_OPEN);
   if (!dr) return dr.status();
+  Decoder& d = dr.value();
   StreamOpen m;
-  m.tag = dr.value().string_().value_or("");
+  m.op_id = d.u64_().value_or(0);
+  m.tag = d.string_().value_or("");
   return m;
 }
 
@@ -223,6 +255,7 @@ Result<StreamClose> decode_stream_close(const Bytes& msg) {
 
 Bytes encode_redirect_data(const RedirectData& m) {
   Encoder e = header(MsgType::REDIRECT_DATA);
+  e.put_u64(m.op_id);
   e.put_u32(m.dst_pod_vip.v);
   put_addr(e, m.dst_local);
   put_addr(e, m.dst_remote);
@@ -236,6 +269,7 @@ Result<RedirectData> decode_redirect_data(const Bytes& msg) {
   if (!dr) return dr.status();
   Decoder& d = dr.value();
   RedirectData m;
+  m.op_id = d.u64_().value_or(0);
   m.dst_pod_vip.v = d.u32_().value_or(0);
   m.dst_local = get_addr(d);
   m.dst_remote = get_addr(d);
@@ -244,16 +278,21 @@ Result<RedirectData> decode_redirect_data(const Bytes& msg) {
   return m;
 }
 
-Bytes encode_abort(const std::string& reason) {
+Bytes encode_abort(const AbortMsg& m) {
   Encoder e = header(MsgType::ABORT);
-  e.put_string(reason);
+  e.put_u64(m.op_id);
+  e.put_string(m.reason);
   return e.take();
 }
 
-Result<std::string> decode_abort(const Bytes& msg) {
+Result<AbortMsg> decode_abort(const Bytes& msg) {
   auto dr = open_msg(msg, MsgType::ABORT);
   if (!dr) return dr.status();
-  return dr.value().string_().value_or("");
+  Decoder& d = dr.value();
+  AbortMsg m;
+  m.op_id = d.u64_().value_or(0);
+  m.reason = d.string_().value_or("");
+  return m;
 }
 
 }  // namespace zapc::core

@@ -10,6 +10,14 @@
 //   migration:   A→A STREAM_* (direct checkpoint streaming) and
 //                REDIRECT_DATA (send-queue redirect optimization)
 //   failure:     M→A / A→M ABORT
+//
+// Causal tracing: every message belonging to a coordinated operation
+// carries the Manager-minted op_id (obs::next_op_id()), and the two
+// Manager→Agent commands additionally carry the span id of the
+// Manager's root span (`parent_span`) while CONTINUE carries the id of
+// the Manager's 'mgr.continue' EVENT (`continue_event`).  Agents stamp
+// both onto their own spans/events, which turns the flat per-node
+// timelines into one cross-node causal tree (see obs/span.h).
 #pragma once
 
 #include <map>
@@ -44,6 +52,8 @@ enum class CkptMode : u8 {
 };
 
 struct CheckpointCmd {
+  u64 op_id = 0;       // coordinated-operation id (0 = untraced)
+  u32 parent_span = 0; // Manager's root span, for cross-node parenting
   std::string pod_name;
   std::string dest_uri;  // "san://<path>" or "agent://<ip>:<port>/<tag>"
   CkptMode mode = CkptMode::SNAPSHOT;
@@ -55,12 +65,23 @@ struct CheckpointCmd {
 };
 
 struct MetaReport {
+  u64 op_id = 0;
   std::string pod_name;
   ckpt::NetMeta meta;
   u64 net_ckpt_us = 0;  // time spent in the network-state checkpoint
 };
 
+/// The single synchronization barrier (paper Figure 3): sent to every
+/// agent once all meta-data reports are in.  `continue_event` is the id
+/// of the Manager's 'mgr.continue' EVENT so each agent's resume records
+/// parent under the barrier decision itself.
+struct ContinueMsg {
+  u64 op_id = 0;
+  u32 continue_event = 0;
+};
+
 struct CkptDone {
+  u64 op_id = 0;
   std::string pod_name;
   bool ok = false;
   std::string error;
@@ -70,6 +91,8 @@ struct CkptDone {
 };
 
 struct RestartCmd {
+  u64 op_id = 0;
+  u32 parent_span = 0;
   std::string pod_name;
   std::string source_uri;  // "san://<path>" or "stream://<tag>"
   ckpt::NetMeta meta;      // modified meta-data with roles + discards
@@ -78,6 +101,7 @@ struct RestartCmd {
 };
 
 struct RestartDone {
+  u64 op_id = 0;
   std::string pod_name;
   bool ok = false;
   std::string error;
@@ -87,6 +111,7 @@ struct RestartDone {
 };
 
 struct StreamOpen {
+  u64 op_id = 0;
   std::string tag;
 };
 struct StreamChunk {
@@ -100,6 +125,7 @@ struct StreamClose {
 /// Send-queue redirect: contents of the sender's send queue shipped
 /// directly to the agent receiving the *peer* pod's checkpoint stream.
 struct RedirectData {
+  u64 op_id = 0;
   net::IpAddr dst_pod_vip;    // the pod whose socket will consume this
   net::SockAddr dst_local;    // that socket's local address
   net::SockAddr dst_remote;   // ... and remote address (the sender)
@@ -107,11 +133,16 @@ struct RedirectData {
   Bytes data;
 };
 
+struct AbortMsg {
+  u64 op_id = 0;
+  std::string reason;
+};
+
 // ---- Encoding ----------------------------------------------------------------
 
 Bytes encode_checkpoint_cmd(const CheckpointCmd& m);
 Bytes encode_meta_report(const MetaReport& m);
-Bytes encode_continue();
+Bytes encode_continue(const ContinueMsg& m = {});
 Bytes encode_ckpt_done(const CkptDone& m);
 Bytes encode_restart_cmd(const RestartCmd& m);
 Bytes encode_restart_done(const RestartDone& m);
@@ -119,13 +150,14 @@ Bytes encode_stream_open(const StreamOpen& m);
 Bytes encode_stream_chunk(const StreamChunk& m);
 Bytes encode_stream_close(const StreamClose& m);
 Bytes encode_redirect_data(const RedirectData& m);
-Bytes encode_abort(const std::string& reason);
+Bytes encode_abort(const AbortMsg& m);
 
 /// Peeks the type of an encoded message.
 Result<MsgType> peek_type(const Bytes& msg);
 
 Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg);
 Result<MetaReport> decode_meta_report(const Bytes& msg);
+Result<ContinueMsg> decode_continue(const Bytes& msg);
 Result<CkptDone> decode_ckpt_done(const Bytes& msg);
 Result<RestartCmd> decode_restart_cmd(const Bytes& msg);
 Result<RestartDone> decode_restart_done(const Bytes& msg);
@@ -133,6 +165,6 @@ Result<StreamOpen> decode_stream_open(const Bytes& msg);
 Result<StreamChunk> decode_stream_chunk(const Bytes& msg);
 Result<StreamClose> decode_stream_close(const Bytes& msg);
 Result<RedirectData> decode_redirect_data(const Bytes& msg);
-Result<std::string> decode_abort(const Bytes& msg);
+Result<AbortMsg> decode_abort(const Bytes& msg);
 
 }  // namespace zapc::core

@@ -25,8 +25,11 @@ struct TraceEvent {
 
 class Trace {
  public:
-  void add(sim::Time t, std::string who, std::string what) {
-    rec_.event_at(t, who, what);
+  /// `parent`/`op` thread the causal-tracing context through to the
+  /// EVENT record (0 = untagged, the legacy behaviour).
+  void add(sim::Time t, std::string who, std::string what,
+           obs::SpanId parent = 0, obs::OpId op = 0) {
+    rec_.event_at(t, who, what, parent, op);
   }
 
   /// The legacy flat timeline: EVENT records only, in insertion order

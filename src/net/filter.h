@@ -10,9 +10,11 @@
 // packet whose source or destination matches, on both ingress and egress.
 #pragma once
 
+#include <string>
 #include <unordered_set>
 
 #include "net/packet.h"
+#include "obs/span.h"
 #include "obs/stats.h"
 #include "util/types.h"
 
@@ -23,13 +25,23 @@ enum class Hook { INGRESS, EGRESS };
 
 class PacketFilter {
  public:
-  /// Blocks all traffic to/from a guest address.
-  void block_addr(IpAddr a) { blocked_.insert(a); }
+  /// Blocks all traffic to/from a guest address.  A new block starts a
+  /// new "episode" for the causal trace: the first packet dropped under
+  /// it is recorded as an op-tagged event (when a tag is installed).
+  void block_addr(IpAddr a) {
+    blocked_.insert(a);
+    drop_event_emitted_ = false;
+  }
 
   /// Removes the block on a guest address.
   void unblock_addr(IpAddr a) { blocked_.erase(a); }
 
   bool is_blocked(IpAddr a) const { return blocked_.count(a) != 0; }
+
+  /// Installs the causal-trace context of the coordinated op that
+  /// blocked this filter (the Agent sets it around block/unblock).
+  void set_obs_tag(obs::ObsTag tag) { tag_ = std::move(tag); }
+  void clear_obs_tag() { tag_ = {}; }
 
   /// Returns true if the packet may pass; false drops it.
   /// Counts drops for tests/benches.
@@ -41,6 +53,13 @@ class PacketFilter {
         ++dropped_egress_;
       }
       obs::stats::net_filter_dropped().inc();
+      if (!drop_event_emitted_ && tag_.active()) {
+        drop_event_emitted_ = true;
+        tag_.event(std::string("net.filter.first_drop ") +
+                   (hook == Hook::INGRESS ? "ingress" : "egress") +
+                   " src=" + p.src.ip.to_string() +
+                   " dst=" + p.dst.ip.to_string());
+      }
       return false;
     }
     return true;
@@ -54,6 +73,8 @@ class PacketFilter {
   std::unordered_set<IpAddr> blocked_;
   u64 dropped_ingress_ = 0;
   u64 dropped_egress_ = 0;
+  bool drop_event_emitted_ = false;
+  obs::ObsTag tag_;
 };
 
 }  // namespace zapc::net

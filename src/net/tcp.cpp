@@ -156,6 +156,11 @@ void TcpSocket::on_rtx_timeout() {
     obs::stats::net_tcp_zero_window_probes().inc();
   } else {
     obs::stats::net_tcp_retransmits().inc();
+    if (rtx_event_armed_) {
+      rtx_event_armed_ = false;
+      obs_tag_.event("net.tcp.first_rtx local=" + local().to_string() +
+                     " remote=" + remote().to_string());
+    }
   }
   if (!probing && ++rtx_count_ > kMaxRetries) {
     fail_connection(Err::TIMED_OUT);

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "net/socket.h"
+#include "obs/span.h"
 #include "sim/engine.h"
 
 namespace zapc::net {
@@ -135,6 +136,15 @@ class TcpSocket final : public Socket {
   /// Whether the peer's FIN has been received (its stream has ended).
   bool peer_fin() const { return fin_rcvd_; }
 
+  /// Causal tracing: arms a one-shot op-tagged event on the next genuine
+  /// retransmission.  The Agent calls this when the pod resumes after a
+  /// checkpoint (continue → unblock → first retransmit) and when a
+  /// restored socket resends its recovered send queue.
+  void tag_next_retransmit(obs::ObsTag tag) {
+    obs_tag_ = std::move(tag);
+    rtx_event_armed_ = obs_tag_.active();
+  }
+
  private:
   friend class Stack;
 
@@ -201,6 +211,9 @@ class TcpSocket final : public Socket {
   sim::EventId rtx_timer_ = 0;
   sim::Time rto_ = 0;
   int rtx_count_ = 0;
+  // One-shot causal-trace event on the next genuine retransmit.
+  obs::ObsTag obs_tag_;
+  bool rtx_event_armed_ = false;
 
   // Listener.
   std::deque<SockId> accept_q_;

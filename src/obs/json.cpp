@@ -352,21 +352,55 @@ Result<MetricsSnapshot> snapshot_from_json(const Json& j) {
   return out;
 }
 
+Json span_to_json(const SpanRecord& s) {
+  Json js = Json::object();
+  js["id"] = static_cast<u64>(s.id);
+  js["parent"] = static_cast<u64>(s.parent);
+  js["kind"] = s.kind == SpanKind::EVENT ? "event" : "span";
+  if (s.op != 0) js["op"] = s.op;
+  js["name"] = s.name;
+  js["who"] = s.who;
+  js["start_us"] = s.start;
+  js["end_us"] = s.end;
+  if (s.open) js["open"] = true;
+  return js;
+}
+
 Json spans_to_json(const SpanRecorder& rec) {
   Json arr = Json::array();
-  for (const SpanRecord& s : rec.spans()) {
-    Json js = Json::object();
-    js["id"] = static_cast<u64>(s.id);
-    js["parent"] = static_cast<u64>(s.parent);
-    js["kind"] = s.kind == SpanKind::EVENT ? "event" : "span";
-    js["name"] = s.name;
-    js["who"] = s.who;
-    js["start_us"] = s.start;
-    js["end_us"] = s.end;
-    if (s.open) js["open"] = true;
-    arr.push(std::move(js));
-  }
+  for (const SpanRecord& s : rec.spans()) arr.push(span_to_json(s));
   return arr;
+}
+
+Result<std::vector<SpanRecord>> spans_from_json(const Json& arr) {
+  if (!arr.is_arr()) return Status(Err::PROTO, "spans: not an array");
+  std::vector<SpanRecord> out;
+  for (const Json& js : arr.items()) {
+    if (!js.is_obj()) return Status(Err::PROTO, "span: not an object");
+    SpanRecord s;
+    if (const Json* v = js.find("id")) s.id = static_cast<SpanId>(v->num_u64());
+    if (const Json* v = js.find("parent")) {
+      s.parent = static_cast<SpanId>(v->num_u64());
+    }
+    if (const Json* v = js.find("kind")) {
+      if (v->str() == "event") {
+        s.kind = SpanKind::EVENT;
+      } else if (v->str() == "span") {
+        s.kind = SpanKind::SPAN;
+      } else {
+        return Status(Err::PROTO, "span: bad kind '" + v->str() + "'");
+      }
+    }
+    if (const Json* v = js.find("op")) s.op = v->num_u64();
+    if (const Json* v = js.find("name")) s.name = v->str();
+    if (const Json* v = js.find("who")) s.who = v->str();
+    if (const Json* v = js.find("start_us")) s.start = v->num_u64();
+    if (const Json* v = js.find("end_us")) s.end = v->num_u64();
+    if (const Json* v = js.find("open")) s.open = v->boolean();
+    if (s.id == 0) return Status(Err::PROTO, "span: missing id");
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 Json evidence_json(const std::string& name, const MetricsSnapshot& snap,

@@ -38,6 +38,10 @@ namespace zapc::obs {
 
 inline constexpr const char* kSchemaVersion = "zapc.obs.v1";
 
+/// Schema of the flight-recorder failure dumps (obs/flight.h).
+inline constexpr const char* kPostmortemSchemaVersion =
+    "zapc.obs.postmortem.v1";
+
 class Json {
  public:
   enum class Type { NUL, BOOL, NUM, STR, ARR, OBJ };
@@ -117,7 +121,15 @@ Result<Json> json_parse(const std::string& text);
 Json snapshot_to_json(const MetricsSnapshot& snap);
 Result<MetricsSnapshot> snapshot_from_json(const Json& j);
 
+/// One span/EVENT record; emits "op" only when nonzero, so PR 1-era
+/// documents and op-less records keep byte-identical output.
+Json span_to_json(const SpanRecord& s);
 Json spans_to_json(const SpanRecorder& rec);
+
+/// Parses a "spans" array (as produced by spans_to_json) back into
+/// records; used by the offline analyzer.  Err::PROTO on malformed
+/// entries.
+Result<std::vector<SpanRecord>> spans_from_json(const Json& arr);
 
 /// Assembles the full zapc.obs.v1 document (spans section omitted when
 /// `spans` is null).  Callers may attach extra sections (e.g. "rows")

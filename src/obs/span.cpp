@@ -1,18 +1,30 @@
 #include "obs/span.h"
 
+#include "obs/flight.h"
+
 namespace zapc::obs {
 
+OpId next_op_id() {
+  // The simulation is single-threaded (like the global metrics registry),
+  // so a plain counter suffices.
+  static OpId counter = 0;
+  return ++counter;
+}
+
 SpanId SpanRecorder::begin_at(Time t, const std::string& name,
-                              const std::string& who, SpanId parent) {
+                              const std::string& who, SpanId parent,
+                              OpId op) {
   SpanRecord s;
   s.id = static_cast<SpanId>(spans_.size() + 1);
   s.parent = parent;
   s.kind = SpanKind::SPAN;
+  s.op = op;
   s.name = name;
   s.who = who;
   s.start = t;
   s.end = t;
   s.open = true;
+  flight().note_span(s);
   spans_.push_back(std::move(s));
   return spans_.back().id;
 }
@@ -22,20 +34,25 @@ void SpanRecorder::end_at(Time t, SpanId id) {
   if (s == nullptr || !s->open) return;
   s->end = t >= s->start ? t : s->start;
   s->open = false;
+  flight().note_span(*s);
 }
 
-void SpanRecorder::event_at(Time t, const std::string& who,
-                            const std::string& what, SpanId parent) {
+SpanId SpanRecorder::event_at(Time t, const std::string& who,
+                              const std::string& what, SpanId parent,
+                              OpId op) {
   SpanRecord s;
   s.id = static_cast<SpanId>(spans_.size() + 1);
   s.parent = parent;
   s.kind = SpanKind::EVENT;
+  s.op = op;
   s.name = what;
   s.who = who;
   s.start = t;
   s.end = t;
   s.open = false;
+  flight().note_span(s);
   spans_.push_back(std::move(s));
+  return spans_.back().id;
 }
 
 const SpanRecord* SpanRecorder::find_by_name(const std::string& name,
@@ -52,6 +69,15 @@ std::size_t SpanRecorder::open_spans() const {
     if (s.open) ++n;
   }
   return n;
+}
+
+const SpanRecord* SpanRecorder::innermost_open(OpId op) const {
+  const SpanRecord* best = nullptr;
+  for (const SpanRecord& s : spans_) {
+    if (s.kind != SpanKind::SPAN || !s.open || s.op != op) continue;
+    if (best == nullptr || s.start >= best->start) best = &s;
+  }
+  return best;
 }
 
 Span::Span(SpanRecorder* rec, std::string name, std::string who)

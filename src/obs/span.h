@@ -12,6 +12,17 @@
 //    Manager/Agent pipeline, which always knows `node.now()`;
 //  * clocked (`begin`/`end`/`event` + RAII Span) — used by tests and any
 //    code that registered a clock callback with set_clock().
+//
+// Causal tracing: every coordinated checkpoint/restart operation carries
+// a process-unique op id (next_op_id()).  The Manager mints it, ships it
+// in every protocol message, and both sides stamp it onto their spans and
+// events, so one stream holding several interleaved operations can be
+// split back into per-op causal trees.  Cross-node causality uses the
+// ordinary `parent` field: the Manager sends the span id of its root (or
+// of the 'continue' event) with the command, and the Agent parents its
+// records under it.  Parent ids are only meaningful when both sides
+// report into the same recorder (the Testbed/Trace arrangement); with
+// separate recorders the op id alone still correlates the records.
 #pragma once
 
 #include <functional>
@@ -22,6 +33,8 @@
 
 namespace zapc::obs {
 
+class FlightRecorder;
+
 /// Virtual time in microseconds (mirrors sim::Time without depending on
 /// the engine; obs sits below sim in the library stack).
 using Time = u64;
@@ -31,10 +44,17 @@ using SpanId = u32;
 
 enum class SpanKind : u8 { SPAN = 0, EVENT = 1 };
 
+/// Coordinated-operation id; 0 means "not part of a coordinated op".
+using OpId = u64;
+
+/// Mints the next process-unique coordinated-operation id (1, 2, ...).
+OpId next_op_id();
+
 struct SpanRecord {
   SpanId id = 0;
   SpanId parent = 0;  // 0 = root
   SpanKind kind = SpanKind::SPAN;
+  OpId op = 0;       // coordinated op this record belongs to; 0 = none
   std::string name;  // phase name, or the event text for EVENT records
   std::string who;   // "manager", "agent@n2", ...
   Time start = 0;
@@ -51,24 +71,26 @@ class SpanRecorder {
 
   /// Opens a span at the clock's current time (parent 0 = root).
   SpanId begin(const std::string& name, const std::string& who,
-               SpanId parent = 0) {
-    return begin_at(now(), name, who, parent);
+               SpanId parent = 0, OpId op = 0) {
+    return begin_at(now(), name, who, parent, op);
   }
   SpanId begin_at(Time t, const std::string& name, const std::string& who,
-                  SpanId parent = 0);
+                  SpanId parent = 0, OpId op = 0);
 
   /// Closes an open span; invalid or already-closed ids are ignored, so
   /// abort paths may blindly close every phase they might have opened.
   void end(SpanId id) { end_at(now(), id); }
   void end_at(Time t, SpanId id);
 
-  /// Records an instant EVENT (a zero-length stamped annotation).
-  void event(const std::string& who, const std::string& what,
-             SpanId parent = 0) {
-    event_at(now(), who, what, parent);
+  /// Records an instant EVENT (a zero-length stamped annotation) and
+  /// returns its id, so it can serve as a cross-node parent (the
+  /// Manager's 'continue' decision parents every agent's resume).
+  SpanId event(const std::string& who, const std::string& what,
+               SpanId parent = 0, OpId op = 0) {
+    return event_at(now(), who, what, parent, op);
   }
-  void event_at(Time t, const std::string& who, const std::string& what,
-                SpanId parent = 0);
+  SpanId event_at(Time t, const std::string& who, const std::string& what,
+                  SpanId parent = 0, OpId op = 0);
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const SpanRecord* find(SpanId id) const {
@@ -83,6 +105,10 @@ class SpanRecorder {
     const SpanRecord* s = find(id);
     return s != nullptr && !s->open ? s->end - s->start : 0;
   }
+
+  /// Innermost (latest-started) still-open SPAN belonging to `op` — the
+  /// phase a failed operation died in; nullptr if none is open.
+  const SpanRecord* innermost_open(OpId op) const;
 
   std::size_t open_spans() const;
 
@@ -122,6 +148,24 @@ class Span {
  private:
   SpanRecorder* rec_;
   SpanId id_ = 0;
+};
+
+/// Causal-trace context handed down into layers that have no notion of
+/// the coordinated protocol (packet filter, TCP, connectivity recovery):
+/// enough to stamp an op-tagged EVENT under the right parent span.  A
+/// null recorder makes event() a no-op, so call sites need no guards.
+struct ObsTag {
+  SpanRecorder* rec = nullptr;
+  std::string who;
+  OpId op = 0;
+  SpanId parent = 0;
+  std::function<Time()> clock;  // falls back to the recorder's clock
+
+  bool active() const { return rec != nullptr; }
+  void event(const std::string& what) const {
+    if (rec == nullptr) return;
+    rec->event_at(clock ? clock() : rec->now(), who, what, parent, op);
+  }
 };
 
 }  // namespace zapc::obs

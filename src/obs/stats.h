@@ -98,6 +98,8 @@ inline void ensure_core_metrics() {
   net_altq_installs();
   net_altq_drains();
   MetricsRegistry& m = metrics();
+  m.counter("obs.postmortems_written");
+  m.counter("mgr.ops_started");
   m.counter("mgr.checkpoints");
   m.counter("mgr.checkpoint_failures");
   m.counter("mgr.restarts");

@@ -20,6 +20,11 @@ const void* g_clock_owner = nullptr;
 std::uint64_t (*g_clock_fn)(const void*) = nullptr;
 const void* g_clock_ctx = nullptr;
 
+// Registered log sink (the flight recorder).
+const void* g_sink_owner = nullptr;
+LogSinkFn g_sink_fn = nullptr;
+const void* g_sink_ctx = nullptr;
+
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::DEBUG: return "DEBUG";
@@ -65,13 +70,30 @@ void clear_log_clock(const void* owner) {
   g_clock_ctx = nullptr;
 }
 
+void set_log_sink(const void* owner, LogSinkFn fn, const void* ctx) {
+  g_sink_owner = owner;
+  g_sink_fn = fn;
+  g_sink_ctx = ctx;
+}
+
+void clear_log_sink(const void* owner) {
+  if (g_sink_owner != owner) return;
+  g_sink_owner = nullptr;
+  g_sink_fn = nullptr;
+  g_sink_ctx = nullptr;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
+  char prefix[48];
   if (g_clock_fn != nullptr) {
-    std::fprintf(stderr, "[%s @%lluus] %s\n", level_name(level),
-                 static_cast<unsigned long long>(g_clock_fn(g_clock_ctx)),
-                 msg.c_str());
+    std::snprintf(prefix, sizeof(prefix), "[%s @%lluus]", level_name(level),
+                  static_cast<unsigned long long>(g_clock_fn(g_clock_ctx)));
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+    std::snprintf(prefix, sizeof(prefix), "[%s]", level_name(level));
+  }
+  std::fprintf(stderr, "%s %s\n", prefix, msg.c_str());
+  if (g_sink_fn != nullptr) {
+    g_sink_fn(g_sink_ctx, level, std::string(prefix) + " " + msg);
   }
 }
 

@@ -32,6 +32,15 @@ void set_log_clock(const void* owner, std::uint64_t (*fn)(const void* ctx),
                    const void* ctx);
 void clear_log_clock(const void* owner);
 
+/// Registers a sink that receives every emitted log line (same threshold
+/// as stderr, fully formatted including the level/time prefix).  Used by
+/// the observability flight recorder to keep recent lines for post-mortem
+/// dumps.  Same owner discipline as set_log_clock().
+using LogSinkFn = void (*)(const void* ctx, LogLevel level,
+                           const std::string& formatted);
+void set_log_sink(const void* owner, LogSinkFn fn, const void* ctx);
+void clear_log_sink(const void* owner);
+
 /// Emits one log line to stderr (already newline-terminated by the macro).
 void log_line(LogLevel level, const std::string& msg);
 

@@ -397,6 +397,78 @@ TEST_F(CoordinatedTest, CheckpointEmitsFigure2PhaseSpans) {
   EXPECT_GE(last_standalone_end, meta->end);
 }
 
+TEST_F(CoordinatedTest, CheckpointCarriesOneOpIdWithCrossNodeParents) {
+  start_app();
+  cl_.run_for(20 * sim::kMillisecond);
+  trace_.clear();
+  auto report = checkpoint();
+  ASSERT_TRUE(report.ok);
+  EXPECT_NE(report.op_id, 0u);
+
+  const obs::SpanRecorder& rec = trace_.recorder();
+  const obs::SpanRecord* root = rec.find_by_name("mgr.ckpt", "manager");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->op, report.op_id);
+
+  // Every record of the operation carries the minted op id, and nothing
+  // from another op leaked in (the trace was cleared).
+  for (const auto& s : rec.spans()) {
+    EXPECT_EQ(s.op, report.op_id) << s.who << " " << s.name;
+  }
+
+  // Cross-node parents: each agent's root span hangs off the Manager's,
+  // and each agent's resume hangs off the Manager's 'continue' EVENT.
+  const obs::SpanRecord* cont = rec.find_by_name("mgr.continue", "manager");
+  ASSERT_NE(cont, nullptr);
+  EXPECT_EQ(cont->kind, obs::SpanKind::EVENT);
+  EXPECT_EQ(cont->parent, root->id);
+  for (const char* who : {"agent@n1", "agent@n2"}) {
+    const obs::SpanRecord* aroot = rec.find_by_name("ckpt", who);
+    ASSERT_NE(aroot, nullptr) << who;
+    EXPECT_EQ(aroot->parent, root->id) << who;
+    bool resumed = false;
+    for (const auto& s : rec.spans()) {
+      if (s.who != who || s.name.rfind("agent.resume", 0) != 0) continue;
+      resumed = true;
+      EXPECT_EQ(s.parent, cont->id) << who;
+      EXPECT_GE(s.start, cont->start) << who;
+    }
+    EXPECT_TRUE(resumed) << who;
+  }
+}
+
+TEST_F(CoordinatedTest, ConsecutiveOpsGetDistinctOpIds) {
+  start_app(8 << 20);
+  cl_.run_for(20 * sim::kMillisecond);
+  auto cr = checkpoint();
+  ASSERT_TRUE(cr.ok);
+  ASSERT_TRUE(agents_[0]->destroy_pod("server-pod").is_ok());
+  ASSERT_TRUE(agents_[1]->destroy_pod("client-pod").is_ok());
+
+  trace_.clear();
+  auto rr = restart(2, 3);
+  ASSERT_TRUE(rr.ok);
+  EXPECT_NE(rr.op_id, 0u);
+  EXPECT_NE(rr.op_id, cr.op_id);
+
+  // Restart side: same single-op discipline, parents reach the Manager's
+  // restart root, and the restored-socket events carry the op too.
+  const obs::SpanRecorder& rec = trace_.recorder();
+  const obs::SpanRecord* root = rec.find_by_name("mgr.restart", "manager");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->op, rr.op_id);
+  int restored_events = 0;
+  for (const auto& s : rec.spans()) {
+    EXPECT_EQ(s.op, rr.op_id) << s.who << " " << s.name;
+    if (s.name.rfind("net.sock.restored", 0) == 0) ++restored_events;
+    if (s.name == "restart") {
+      EXPECT_EQ(s.parent, root->id) << s.who;
+    }
+  }
+  // One restored event per established endpoint (client + server side).
+  EXPECT_GE(restored_events, 2);
+}
+
 TEST_F(CoordinatedTest, FsSnapshotTakenBeforeResume) {
   start_app();
   cl_.san().write("pods/server-pod/output.dat", Bytes{1, 2, 3});

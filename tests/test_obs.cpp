@@ -5,9 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "util/log.h"
 
 namespace zapc::obs {
 namespace {
@@ -303,6 +305,126 @@ TEST(Json, EvidenceSchema) {
   // Without a recorder the spans section is omitted entirely.
   Json no_spans = evidence_json("unit", reg.snapshot());
   EXPECT_EQ(no_spans.find("spans"), nullptr);
+}
+
+// ---- Causal op ids ---------------------------------------------------------
+
+TEST(OpIds, MintedIdsAreUniqueAndStampSpans) {
+  OpId a = next_op_id();
+  OpId b = next_op_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(b, a + 1);
+
+  SpanRecorder rec;
+  SpanId root = rec.begin_at(10, "mgr.ckpt", "manager", 0, a);
+  SpanId ev = rec.event_at(20, "manager", "mgr.continue", root, a);
+  EXPECT_NE(ev, 0u);  // events return their id (cross-node parents)
+  EXPECT_EQ(rec.find(root)->op, a);
+  EXPECT_EQ(rec.find(ev)->op, a);
+  EXPECT_EQ(rec.find(ev)->parent, root);
+}
+
+TEST(OpIds, InnermostOpenFindsTheFailingPhase) {
+  SpanRecorder rec;
+  OpId op = next_op_id();
+  SpanId root = rec.begin_at(10, "ckpt", "agent@n1", 0, op);
+  SpanId phase = rec.begin_at(20, "ckpt.netckpt", "agent@n1", root, op);
+  rec.begin_at(5, "ckpt", "agent@n2", 0, next_op_id());  // other op
+  ASSERT_NE(rec.innermost_open(op), nullptr);
+  EXPECT_EQ(rec.innermost_open(op)->name, "ckpt.netckpt");
+  rec.end_at(30, phase);
+  EXPECT_EQ(rec.innermost_open(op)->name, "ckpt");
+  rec.end_at(40, root);
+  EXPECT_EQ(rec.innermost_open(op), nullptr);
+}
+
+TEST(Json, SpansFromJsonRoundTripsOpsAndParents) {
+  SpanRecorder rec;
+  OpId op = next_op_id();
+  SpanId root = rec.begin_at(10, "ckpt", "agent@n1", 0, op);
+  rec.event_at(15, "agent@n1", "net.sock.saved local=1.2.3.4:5 "
+                               "remote=4.3.2.1:6 sent=9 acked=9 recv=3",
+               root, op);
+  rec.end_at(90, root);
+  rec.begin_at(95, "restart", "agent@n1");  // op-less, left open
+
+  Json arr = spans_to_json(rec);
+  auto parsed = json_parse(arr.dump());
+  ASSERT_TRUE(parsed.is_ok());
+  auto back = spans_from_json(parsed.value());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  const std::vector<SpanRecord>& spans = back.value();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].op, op);
+  EXPECT_EQ(spans[0].name, "ckpt");
+  EXPECT_FALSE(spans[0].open);
+  EXPECT_EQ(spans[1].kind, SpanKind::EVENT);
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].op, op);
+  EXPECT_EQ(spans[2].op, 0u);  // "op" omitted → parsed as 0
+  EXPECT_TRUE(spans[2].open);
+}
+
+// ---- Flight recorder -------------------------------------------------------
+
+TEST(Flight, RingIsBoundedAndUpdatesSpansOnClose) {
+  FlightRecorder fr;
+  fr.set_capacity(8);
+  SpanRecord s;
+  s.id = 1;
+  s.name = "ckpt";
+  s.who = "agent@n1";
+  s.start = 10;
+  s.open = true;
+  fr.note_span(s);
+  for (u32 i = 2; i <= 20; ++i) {
+    SpanRecord e;
+    e.id = i;
+    e.kind = SpanKind::EVENT;
+    e.name = "e" + std::to_string(i);
+    e.start = i;
+    fr.note_span(e);
+  }
+  EXPECT_LE(fr.size(), 8u);
+  fr.note_log("[WARN @99us] something");
+  EXPECT_LE(fr.size(), 9u);  // log lines ride in their own deque
+}
+
+TEST(Flight, PostmortemDumpHasSchemaOpAndPhase) {
+  FlightRecorder fr;
+  fr.set_dir(::testing::TempDir() + "zapc_flight_test");
+
+  SpanRecorder rec;
+  OpId op = next_op_id();
+  SpanId root = rec.begin_at(100, "ckpt", "agent@n1", 0, op);
+  rec.begin_at(120, "ckpt.netckpt", "agent@n1", root, op);
+
+  std::string phase;
+  if (const SpanRecord* inner = rec.innermost_open(op)) phase = inner->name;
+  std::string path =
+      fr.dump_postmortem("ckpt_abort", op, "agent@n1", phase,
+                         "injected failure", 130);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path, fr.last_path());
+  EXPECT_EQ(fr.dumps_written(), 1u);
+
+  auto parsed = json_parse(fr.last_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const Json& j = parsed.value();
+  EXPECT_EQ(j.find("schema")->str(), kPostmortemSchemaVersion);
+  EXPECT_EQ(j.find("kind")->str(), "ckpt_abort");
+  EXPECT_EQ(j.find("op_id")->num_u64(), op);
+  EXPECT_EQ(j.find("phase")->str(), "ckpt.netckpt");
+  EXPECT_EQ(j.find("reason")->str(), "injected failure");
+  EXPECT_EQ(j.find("time_us")->num_u64(), 130u);
+  ASSERT_NE(j.find("metrics"), nullptr);
+}
+
+TEST(Flight, GlobalRecorderCapturesWarnLogLines) {
+  flight().clear();
+  std::size_t before = flight().size();
+  ZLOG_WARN("test_obs: flight log capture check");
+  EXPECT_GT(flight().size(), before);
 }
 
 }  // namespace

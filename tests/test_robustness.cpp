@@ -4,10 +4,19 @@
 // store under random operation sequences.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <memory>
+
 #include "ckpt/image.h"
+#include "core/agent.h"
+#include "core/manager.h"
 #include "net/stack.h"
 #include "net/tcp.h"
+#include "obs/flight.h"
+#include "obs/json.h"
+#include "os/cluster.h"
 #include "os/san.h"
+#include "tests/guest_programs.h"
 #include "tests/helpers.h"
 #include "util/rng.h"
 
@@ -196,6 +205,145 @@ TEST(Robustness, TcpSurvivesReorderingJitter) {
   EXPECT_EQ(got, data);
   // Reassembly actually happened out of order at least once.
   EXPECT_GT(net.packets_dropped(), 0u);
+}
+
+// ---- Failure flight recorder ----------------------------------------------
+//
+// Every injected Manager↔Agent failure must leave a postmortem: a
+// zapc.obs.postmortem.v1 dump naming the op and the phase it died in.
+
+class PostmortemTest : public ::testing::Test {
+ protected:
+  PostmortemTest() {
+    obs::flight().set_dir(::testing::TempDir() + "zapc_postmortems");
+    dumps_before_ = obs::flight().dumps_written();
+    mgr_node_ = &cl_.add_node("mgr");
+    for (int i = 0; i < 2; ++i) {
+      nodes_.push_back(&cl_.add_node("n" + std::to_string(i + 1)));
+      agents_.push_back(std::make_unique<core::Agent>(
+          *nodes_.back(), core::Agent::kDefaultPort, core::CostModel{},
+          &trace_));
+    }
+    manager_ = std::make_unique<core::Manager>(*mgr_node_, &trace_);
+  }
+
+  void start_app() {
+    pod::Pod& sp = agents_[0]->create_pod(net::IpAddr(10, 77, 0, 1),
+                                          "server-pod");
+    (void)sp.spawn(std::make_unique<test::EchoServer>(5000));
+    pod::Pod& cp = agents_[1]->create_pod(net::IpAddr(10, 77, 0, 2),
+                                          "client-pod");
+    (void)cp.spawn(std::make_unique<test::EchoClient>(
+        net::SockAddr{net::IpAddr(10, 77, 0, 1), 5000}, 4 << 20));
+    cl_.run_for(20 * sim::kMillisecond);
+  }
+
+  std::size_t new_dumps() const {
+    return obs::flight().dumps_written() - dumps_before_;
+  }
+
+  /// Parses the most recent postmortem and checks the required fields.
+  obs::Json last_postmortem(const std::string& want_kind, u64 want_op) {
+    EXPECT_TRUE(std::filesystem::exists(obs::flight().last_path()))
+        << obs::flight().last_path();
+    auto parsed = obs::json_parse(obs::flight().last_json());
+    EXPECT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    if (!parsed.is_ok()) return obs::Json{};
+    const obs::Json& j = parsed.value();
+    EXPECT_EQ(j.find("schema")->str(), obs::kPostmortemSchemaVersion);
+    if (!want_kind.empty()) {
+      EXPECT_EQ(j.find("kind")->str(), want_kind);
+    }
+    EXPECT_EQ(j.find("op_id")->num_u64(), want_op);
+    EXPECT_NE(want_op, 0u);
+    EXPECT_FALSE(j.find("phase")->str().empty());
+    EXPECT_FALSE(j.find("reason")->str().empty());
+    return parsed.value();
+  }
+
+  os::Cluster cl_;
+  core::Trace trace_;
+  os::Node* mgr_node_ = nullptr;
+  std::vector<os::Node*> nodes_;
+  std::vector<std::unique_ptr<core::Agent>> agents_;
+  std::unique_ptr<core::Manager> manager_;
+  std::size_t dumps_before_ = 0;
+};
+
+TEST_F(PostmortemTest, FailedCheckpointDumpsCkptFail) {
+  bool done = false;
+  core::Manager::CheckpointReport cr;
+  manager_->checkpoint(
+      {{agents_[0]->addr(), "no-such-pod", "san://ckpt/x"}},
+      core::CkptMode::SNAPSHOT,
+      [&](core::Manager::CheckpointReport r) {
+        cr = std::move(r);
+        done = true;
+      });
+  for (int i = 0; i < 20000 && !done; ++i) cl_.run_for(sim::kMillisecond);
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(cr.ok);
+
+  ASSERT_GE(new_dumps(), 1u);
+  obs::Json j = last_postmortem("ckpt_fail", cr.op_id);
+  // The op died waiting for meta-data; the dump names that phase.
+  EXPECT_EQ(j.find("phase")->str(), "mgr.ckpt.meta_wait");
+  EXPECT_EQ(j.find("who")->str(), "manager");
+}
+
+TEST_F(PostmortemTest, AgentNodeDeathDumpsOnManagerAndSurvivor) {
+  start_app();
+  bool done = false;
+  core::Manager::CheckpointReport cr;
+  manager_->checkpoint(
+      {
+          {agents_[0]->addr(), "server-pod", "san://ckpt/server"},
+          {agents_[1]->addr(), "client-pod", "san://ckpt/client"},
+      },
+      core::CkptMode::SNAPSHOT,
+      [&](core::Manager::CheckpointReport r) {
+        cr = std::move(r);
+        done = true;
+      });
+  nodes_[1]->fail();
+  for (int i = 0; i < 60000 && !done; ++i) cl_.run_for(sim::kMillisecond);
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(cr.ok);
+  cl_.run_for(100 * sim::kMillisecond);  // let the abort reach agent 0
+
+  // Two sides died: the Manager (ckpt_fail) and the surviving agent,
+  // which aborted on the Manager's ABORT (ckpt_abort).  Both postmortems
+  // carry the same op id.
+  ASSERT_GE(new_dumps(), 2u);
+  obs::Json j = last_postmortem("ckpt_abort", cr.op_id);
+  EXPECT_EQ(j.find("who")->str(), "agent@n1");
+  // The agent died inside its checkpoint pipeline, phase says where.
+  EXPECT_EQ(j.find("phase")->str().rfind("ckpt", 0), 0u);
+}
+
+TEST_F(PostmortemTest, CorruptImageRestartDumpsRestartFail) {
+  cl_.san().write("ckpt/garbage", test::pattern_bytes(4096, 13));
+  // A minimal meta table so the restart schedule builds and the garbage
+  // actually reaches the agent before anything can go wrong.
+  ckpt::NetMeta meta;
+  meta.pod_vip = net::IpAddr::parse("10.9.9.9").value();
+  bool done = false;
+  core::Manager::RestartReport rr;
+  manager_->restart(
+      {{agents_[0]->addr(), "zombie-pod", "san://ckpt/garbage"}},
+      {{"zombie-pod", meta}},
+      [&](core::Manager::RestartReport r) {
+        rr = std::move(r);
+        done = true;
+      });
+  for (int i = 0; i < 20000 && !done; ++i) cl_.run_for(sim::kMillisecond);
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(rr.ok);
+
+  ASSERT_GE(new_dumps(), 1u);
+  obs::Json j = last_postmortem("restart_fail", rr.op_id);
+  EXPECT_EQ(j.find("who")->str(), "manager");
+  EXPECT_EQ(j.find("phase")->str().rfind("mgr.restart", 0), 0u);
 }
 
 TEST(Robustness, SanRandomOpsBehaveLikeAMap) {

@@ -1,0 +1,153 @@
+// check_bench_regression: diff two bench_results directories.
+//
+//   check_bench_regression BASELINE_DIR CURRENT_DIR [THRESHOLD_PCT]
+//
+// The simulation is deterministic in virtual time, so every numeric
+// value in the evidence JSON (counters, histogram sums, bench rows) is
+// reproducible; a relative drift beyond THRESHOLD_PCT (default 10%) on
+// any shared file is a regression.  Files present only on one side are
+// reported but fatal only when the baseline file disappeared.  Exit
+// codes: 0 = within threshold, 1 = regression, 2 = bad invocation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace fs = std::filesystem;
+using zapc::obs::Json;
+
+namespace {
+
+bool load(const fs::path& p, Json& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = zapc::obs::json_parse(buf.str());
+  if (!parsed) return false;
+  out = std::move(parsed).value();
+  return true;
+}
+
+void diff(const Json& base, const Json& cur, const std::string& path,
+          double threshold, std::vector<std::string>& out) {
+  if (base.type() != cur.type()) {
+    out.push_back(path + ": type changed");
+    return;
+  }
+  switch (base.type()) {
+    case Json::Type::NUM: {
+      double a = base.num(), b = cur.num();
+      double denom = std::max(std::abs(a), 1.0);
+      if (std::abs(a - b) / denom > threshold) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), ": %.6g -> %.6g (%.1f%% drift)", a,
+                      b, std::abs(a - b) / denom * 100.0);
+        out.push_back(path + buf);
+      }
+      break;
+    }
+    case Json::Type::STR:
+      if (base.str() != cur.str()) out.push_back(path + ": string changed");
+      break;
+    case Json::Type::BOOL:
+      if (base.boolean() != cur.boolean()) {
+        out.push_back(path + ": bool changed");
+      }
+      break;
+    case Json::Type::ARR: {
+      if (base.size() != cur.size()) {
+        out.push_back(path + ": length " + std::to_string(base.size()) +
+                      " -> " + std::to_string(cur.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < base.items().size(); ++i) {
+        diff(base.items()[i], cur.items()[i],
+             path + "[" + std::to_string(i) + "]", threshold, out);
+      }
+      break;
+    }
+    case Json::Type::OBJ: {
+      for (const auto& [key, bval] : base.fields()) {
+        const Json* cval = cur.find(key);
+        if (cval == nullptr) {
+          out.push_back(path + "." + key + ": missing in current");
+          continue;
+        }
+        diff(bval, *cval, path + "." + key, threshold, out);
+      }
+      break;
+    }
+    case Json::Type::NUL:
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: check_bench_regression BASELINE_DIR CURRENT_DIR "
+                 "[THRESHOLD_PCT]\n");
+    return 2;
+  }
+  fs::path baseline = argv[1], current = argv[2];
+  double threshold = argc == 4 ? std::atof(argv[3]) / 100.0 : 0.10;
+  if (!fs::is_directory(baseline) || !fs::is_directory(current)) {
+    std::fprintf(stderr, "check_bench_regression: not a directory\n");
+    return 2;
+  }
+
+  std::vector<std::string> problems;
+  std::size_t compared = 0;
+  for (const auto& entry : fs::directory_iterator(baseline)) {
+    if (entry.path().extension() != ".json") continue;
+    fs::path other = current / entry.path().filename();
+    std::string name = entry.path().filename().string();
+    if (!fs::exists(other)) {
+      problems.push_back(name + ": missing from current results");
+      continue;
+    }
+    Json a, b;
+    if (!load(entry.path(), a) || !load(other, b)) {
+      problems.push_back(name + ": unreadable or malformed JSON");
+      continue;
+    }
+    // Spans shift freely as instrumentation evolves; the perf signal
+    // lives in the metrics and bench rows.
+    std::size_t before = problems.size();
+    if (const Json* am = a.find("metrics")) {
+      const Json* bm = b.find("metrics");
+      if (bm != nullptr) {
+        diff(*am, *bm, name + ":metrics", threshold, problems);
+      } else {
+        problems.push_back(name + ": metrics section missing");
+      }
+    }
+    if (const Json* ar = a.find("rows")) {
+      const Json* br = b.find("rows");
+      if (br != nullptr) {
+        diff(*ar, *br, name + ":rows", threshold, problems);
+      } else {
+        problems.push_back(name + ": rows section missing");
+      }
+    }
+    ++compared;
+    if (problems.size() == before) {
+      std::printf("OK %s\n", name.c_str());
+    }
+  }
+
+  for (const auto& p : problems) std::printf("REGRESSION %s\n", p.c_str());
+  std::printf("%zu file(s) compared, %zu problem(s), threshold %.0f%%\n",
+              compared, problems.size(), threshold * 100.0);
+  return problems.empty() ? 0 : 1;
+}

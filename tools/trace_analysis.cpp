@@ -1,0 +1,278 @@
+#include "tools/trace_analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace zapc::tools {
+namespace {
+
+/// Value of `key=` inside an event text ("" when absent).
+std::string field(const std::string& text, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  auto pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  auto end = text.find(' ', pos);
+  return text.substr(pos, end == std::string::npos ? std::string::npos
+                                                   : end - pos);
+}
+
+u64 field_u64(const std::string& text, const std::string& key) {
+  std::string v = field(text, key);
+  return v.empty() ? 0 : std::strtoull(v.c_str(), nullptr, 10);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+Result<TraceDoc> load_trace_doc(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(Err::IO, "cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto parsed = obs::json_parse(buf.str());
+  if (!parsed) {
+    return Status(Err::PROTO, path + ": " + parsed.status().to_string());
+  }
+  const obs::Json& doc = parsed.value();
+
+  TraceDoc out;
+  out.path = path;
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_str()) {
+    return Status(Err::PROTO, path + ": missing schema field");
+  }
+  out.schema = schema->str();
+  if (out.schema == obs::kSchemaVersion) {
+    if (const obs::Json* n = doc.find("name"); n != nullptr && n->is_str()) {
+      out.name = n->str();
+    }
+  } else if (out.schema == obs::kPostmortemSchemaVersion) {
+    std::string kind, phase;
+    if (const obs::Json* k = doc.find("kind"); k != nullptr) kind = k->str();
+    if (const obs::Json* p = doc.find("phase"); p != nullptr) {
+      phase = p->str();
+    }
+    u64 op = 0;
+    if (const obs::Json* o = doc.find("op_id"); o != nullptr) {
+      op = o->num_u64();
+    }
+    out.name = kind + " op=" + std::to_string(op) + " phase=" + phase;
+  } else {
+    return Status(Err::PROTO, path + ": unknown schema " + out.schema);
+  }
+
+  if (const obs::Json* spans = doc.find("spans"); spans != nullptr) {
+    auto recs = obs::spans_from_json(*spans);
+    if (!recs) {
+      return Status(Err::PROTO, path + ": " + recs.status().to_string());
+    }
+    out.spans = std::move(recs).value();
+  }
+  return out;
+}
+
+std::vector<OpTrace> group_by_op(const std::vector<obs::SpanRecord>& spans) {
+  std::map<obs::OpId, OpTrace> by_op;
+  for (const auto& s : spans) {
+    if (s.op == 0) continue;
+    OpTrace& t = by_op[s.op];
+    t.op = s.op;
+    t.records.push_back(&s);
+  }
+  std::vector<OpTrace> out;
+  out.reserve(by_op.size());
+  for (auto& [op, t] : by_op) out.push_back(std::move(t));
+  return out;
+}
+
+std::string render_op_timeline(const OpTrace& op) {
+  constexpr int kBarWidth = 40;
+
+  obs::Time t0 = ~obs::Time{0}, t1 = 0;
+  std::set<obs::SpanId> ids;
+  for (const auto* r : op.records) {
+    ids.insert(r->id);
+    t0 = std::min(t0, r->start);
+    t1 = std::max({t1, r->start, r->open ? r->start : r->end});
+  }
+  if (op.records.empty()) t0 = 0;
+  const double span_us = t1 > t0 ? static_cast<double>(t1 - t0) : 1.0;
+  auto col = [&](obs::Time t) {
+    int c = static_cast<int>(static_cast<double>(t - t0) / span_us *
+                             (kBarWidth - 1));
+    return std::clamp(c, 0, kBarWidth - 1);
+  };
+
+  // Children grouped under their parent; records whose parent is not part
+  // of this op (or 0) are roots.  The Manager's root span comes first, so
+  // stream order inside a parent is already causal order.
+  std::map<obs::SpanId, std::vector<const obs::SpanRecord*>> children;
+  std::vector<const obs::SpanRecord*> roots;
+  for (const auto* r : op.records) {
+    if (r->parent != 0 && ids.count(r->parent) != 0) {
+      children[r->parent].push_back(r);
+    } else {
+      roots.push_back(r);
+    }
+  }
+
+  std::ostringstream out;
+  out << "op " << op.op << "  [" << t0 << "us .. " << t1 << "us]  ("
+      << op.records.size() << " records)\n";
+
+  std::size_t who_w = 3;
+  for (const auto* r : op.records) who_w = std::max(who_w, r->who.size());
+
+  std::function<void(const obs::SpanRecord*, int)> emit =
+      [&](const obs::SpanRecord* r, int depth) {
+        std::string bar(kBarWidth, ' ');
+        if (r->kind == obs::SpanKind::EVENT) {
+          bar[col(r->start)] = '|';
+        } else {
+          int a = col(r->start);
+          int b = r->open ? kBarWidth - 1 : col(r->end);
+          for (int i = a; i <= b; ++i) bar[i] = '=';
+        }
+        char times[40];
+        if (r->kind == obs::SpanKind::EVENT) {
+          std::snprintf(times, sizeof(times), "@%-9llu          ",
+                        static_cast<unsigned long long>(r->start));
+        } else if (r->open) {
+          std::snprintf(times, sizeof(times), "%9llu..     OPEN",
+                        static_cast<unsigned long long>(r->start));
+        } else {
+          std::snprintf(times, sizeof(times), "%9llu..%-9llu",
+                        static_cast<unsigned long long>(r->start),
+                        static_cast<unsigned long long>(r->end));
+        }
+        out << "  [" << bar << "] " << times << " ";
+        out.width(static_cast<std::streamsize>(who_w));
+        out << std::left << r->who;
+        out.width(0);
+        out << " " << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+            << r->name << "\n";
+        for (const auto* c : children[r->id]) emit(c, depth + 1);
+      };
+  for (const auto* r : roots) emit(r, 0);
+  return out.str();
+}
+
+std::vector<std::string> validate_ops(
+    const std::vector<obs::SpanRecord>& spans, const ValidateOptions& opts) {
+  std::vector<std::string> bad;
+  for (const OpTrace& t : group_by_op(spans)) {
+    const std::string tag = "op " + std::to_string(t.op) + ": ";
+
+    // ---- Exactly one barrier (Manager 'continue') per checkpoint op.
+    bool is_ckpt = false;
+    std::vector<const obs::SpanRecord*> continues;
+    for (const auto* r : t.records) {
+      if (r->kind == obs::SpanKind::SPAN &&
+          (r->name == "mgr.ckpt" || r->name == "ckpt")) {
+        is_ckpt = true;
+      }
+      if (r->kind == obs::SpanKind::EVENT && r->name == "mgr.continue") {
+        continues.push_back(r);
+      }
+    }
+    bool aborted = false;
+    for (const auto* r : t.records) {
+      if (r->kind == obs::SpanKind::EVENT &&
+          starts_with(r->name, "abort")) {
+        aborted = true;
+      }
+    }
+    if (is_ckpt && !aborted && continues.size() != 1) {
+      bad.push_back(tag + "expected exactly one mgr.continue, saw " +
+                    std::to_string(continues.size()));
+    }
+    const obs::SpanRecord* cont =
+        continues.empty() ? nullptr : continues.front();
+
+    // ---- NETWORK_FIRST ordering: per agent, the network-state
+    // checkpoint completes before the standalone checkpoint starts.
+    if (!opts.allow_network_last) {
+      std::map<std::string, const obs::SpanRecord*> netckpt, standalone;
+      for (const auto* r : t.records) {
+        if (r->kind != obs::SpanKind::SPAN) continue;
+        if (r->name == "ckpt.netckpt") netckpt[r->who] = r;
+        if (r->name == "ckpt.standalone") standalone[r->who] = r;
+      }
+      for (const auto& [who, net] : netckpt) {
+        auto it = standalone.find(who);
+        if (it == standalone.end() || net->open) continue;
+        if (net->end > it->second->start) {
+          bad.push_back(tag + who +
+                        ": standalone checkpoint started before the "
+                        "network checkpoint finished (NETWORK_FIRST "
+                        "violated)");
+        }
+      }
+    }
+
+    // ---- No agent resumes before (or outside) the Manager's continue.
+    for (const auto* r : t.records) {
+      if (r->kind != obs::SpanKind::EVENT ||
+          !starts_with(r->name, "agent.resume")) {
+        continue;
+      }
+      if (cont == nullptr) {
+        bad.push_back(tag + r->who + " resumed with no mgr.continue");
+        continue;
+      }
+      if (r->start < cont->start) {
+        bad.push_back(tag + r->who + " resumed at " +
+                      std::to_string(r->start) + "us, before mgr.continue"
+                      " at " + std::to_string(cont->start) + "us");
+      }
+      if (r->parent != cont->id) {
+        bad.push_back(tag + r->who +
+                      ": agent.resume not parented under mgr.continue");
+      }
+    }
+
+    // ---- recv₁ ≥ acked₂ on both ends of every restored connection.
+    struct Restored {
+      std::string local, remote, who;
+      u64 recv = 0, acked = 0;
+    };
+    std::vector<Restored> restored;
+    for (const auto* r : t.records) {
+      if (r->kind != obs::SpanKind::EVENT ||
+          !starts_with(r->name, "net.sock.restored")) {
+        continue;
+      }
+      restored.push_back(Restored{field(r->name, "local"),
+                                  field(r->name, "remote"), r->who,
+                                  field_u64(r->name, "recv"),
+                                  field_u64(r->name, "acked")});
+    }
+    for (const auto& a : restored) {
+      for (const auto& b : restored) {
+        if (a.local != b.remote || a.remote != b.local) continue;
+        if (a.recv < b.acked) {
+          bad.push_back(tag + a.local + " restored recv=" +
+                        std::to_string(a.recv) + " < peer acked=" +
+                        std::to_string(b.acked) +
+                        " (acknowledged data would be lost)");
+        }
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace zapc::tools

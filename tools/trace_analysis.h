@@ -1,0 +1,68 @@
+// Offline analysis of zapc.obs.v1 / zapc.obs.postmortem.v1 documents.
+//
+// The library behind the zapc-trace CLI: loads the span stream out of a
+// bench evidence file or a flight-recorder postmortem, groups it into
+// per-operation causal trees (every coordinated checkpoint/restart
+// carries an op id), renders an ASCII timeline, and re-checks the
+// protocol invariants the paper's design depends on — after the fact,
+// from the recorded evidence alone:
+//
+//   * exactly one Manager 'continue' (the single barrier) per
+//     coordinated checkpoint;
+//   * network-state checkpoint before standalone checkpoint (the
+//     NETWORK_FIRST ordering of Figure 2; relaxable for the ablation);
+//   * no agent resumes its pod before the Manager's continue decision,
+//     and the resume is causally parented under it;
+//   * recv₁ ≥ acked₂ across both ends of every restored connection
+//     (paper §5: data acknowledged by one side must have been received
+//     by the other, or restart would lose it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+#include "util/status.h"
+
+namespace zapc::tools {
+
+/// One loaded evidence document: a zapc.obs.v1 bench export or a
+/// zapc.obs.postmortem.v1 flight-recorder dump.
+struct TraceDoc {
+  std::string path;
+  std::string schema;
+  std::string name;  // bench name, or "<kind> op=<n> phase=<p>"
+  std::vector<obs::SpanRecord> spans;
+};
+
+/// Reads and parses one document.  Err::PROTO on malformed JSON or an
+/// unknown schema; Err::IO when the file cannot be read.
+Result<TraceDoc> load_trace_doc(const std::string& path);
+
+/// The records of one coordinated operation, in stream order.
+struct OpTrace {
+  obs::OpId op = 0;
+  std::vector<const obs::SpanRecord*> records;
+};
+
+/// Groups records by op id, ascending; op-less records are dropped.
+/// Pointers alias `spans`, which must outlive the result.
+std::vector<OpTrace> group_by_op(const std::vector<obs::SpanRecord>& spans);
+
+/// ASCII causal timeline of one operation: an indented parent/child
+/// tree with time bars scaled to the op's extent.
+std::string render_op_timeline(const OpTrace& op);
+
+struct ValidateOptions {
+  /// Accept the NETWORK_LAST ablation ordering (standalone before
+  /// network checkpoint) instead of flagging it.
+  bool allow_network_last = false;
+};
+
+/// Runs every offline invariant check over the stream; returns
+/// human-readable violations (empty means the evidence is consistent).
+std::vector<std::string> validate_ops(
+    const std::vector<obs::SpanRecord>& spans,
+    const ValidateOptions& opts = {});
+
+}  // namespace zapc::tools

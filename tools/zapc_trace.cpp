@@ -1,0 +1,76 @@
+// zapc-trace: offline analyzer for ZapC trace evidence.
+//
+//   zapc-trace FILE...                render per-op ASCII causal timelines
+//   zapc-trace --validate FILE...     re-check protocol invariants offline
+//
+// Accepts bench evidence (zapc.obs.v1, bench_results/*.json) and
+// flight-recorder postmortems (zapc.obs.postmortem.v1).  Exit codes:
+// 0 = clean, 1 = invariant violation, 2 = unreadable/malformed input.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/trace_analysis.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: zapc-trace [--validate] [--allow-network-last] "
+               "file.json...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool validate = false;
+  zapc::tools::ValidateOptions opts;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--allow-network-last") {
+      opts.allow_network_last = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  int rc = 0;
+  for (const std::string& f : files) {
+    auto doc = zapc::tools::load_trace_doc(f);
+    if (!doc) {
+      std::fprintf(stderr, "zapc-trace: %s\n",
+                   doc.status().to_string().c_str());
+      return 2;
+    }
+    auto ops = zapc::tools::group_by_op(doc.value().spans);
+
+    if (!validate) {
+      std::printf("%s  (%s: %s, %zu op-tagged records in %zu ops)\n",
+                  f.c_str(), doc.value().schema.c_str(),
+                  doc.value().name.c_str(), doc.value().spans.size(),
+                  ops.size());
+      for (const auto& op : ops) {
+        std::printf("%s", zapc::tools::render_op_timeline(op).c_str());
+      }
+      continue;
+    }
+
+    auto bad = zapc::tools::validate_ops(doc.value().spans, opts);
+    if (bad.empty()) {
+      std::printf("OK %s (%zu ops)\n", f.c_str(), ops.size());
+    } else {
+      rc = 1;
+      for (const auto& v : bad) {
+        std::printf("FAIL %s: %s\n", f.c_str(), v.c_str());
+      }
+    }
+  }
+  return rc;
+}
