@@ -76,15 +76,17 @@ struct Testbed {
   core::Manager::CheckpointReport checkpoint_sync(
       const std::vector<core::Manager::Target>& targets,
       core::CkptMode mode = core::CkptMode::SNAPSHOT,
-      bool redirect = false) {
+      bool redirect = false,
+      core::Manager::CkptOptions opts = {}) {
     core::Manager::CheckpointReport out;
     bool done = false;
+    opts.redirect_send_queues = opts.redirect_send_queues || redirect;
     manager->checkpoint(targets, mode,
                         [&](auto r) {
                           out = std::move(r);
                           done = true;
                         },
-                        redirect);
+                        opts);
     for (int i = 0; i < 120000 && !done; ++i) {
       cl.run_for(sim::kMillisecond);
     }

@@ -24,6 +24,19 @@ void BM_Crc32(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32)->Arg(4 << 10)->Arg(1 << 20);
 
+// Reference bytewise CRC loop: the before/after comparison for the
+// slice-by-8 crc32_update above (same incremental API, same result).
+void BM_Crc32Bytewise(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    u32 c = crc32_update_bytewise(crc32_init(), data.data(), data.size());
+    benchmark::DoNotOptimize(crc32_final(c));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32Bytewise)->Arg(4 << 10)->Arg(1 << 20);
+
 void BM_RecordWriteRead(benchmark::State& state) {
   Bytes payload(static_cast<std::size_t>(state.range(0)), 7);
   for (auto _ : state) {

@@ -119,6 +119,16 @@ struct SocketImage {
   std::size_t byte_size() const;
 };
 
+/// Per-region entry of a process's region manifest.  The manifest lists
+/// every live region with the generation it had at checkpoint, whether or
+/// not the region's bytes are included in this image — a delta image
+/// includes bytes only for dirty regions, but the manifest is complete so
+/// restart knows which regions to pull from the base chain.
+struct RegionMeta {
+  u64 gen = 0;   // Process region generation at checkpoint
+  u64 size = 0;  // region byte size at checkpoint
+};
+
 /// Saved state of one process (standalone / Zap part).
 struct ProcessImage {
   i32 vpid = 0;
@@ -128,9 +138,19 @@ struct ProcessImage {
   int next_fd = 3;
   Bytes program_state;       // Program::save blob
   std::map<int, net::SockId> fds;          // fd -> old socket id
-  std::map<std::string, Bytes> regions;    // bulk memory
+  std::map<std::string, Bytes> regions;    // bulk memory (dirty-only in deltas)
   std::map<u32, i64> timer_remaining;      // virtualized timers (paper §5)
+  u64 region_gen_counter = 0;              // dirty-tracking clock at checkpoint
+  std::map<std::string, RegionMeta> manifest;  // all live regions
 };
+
+// ---- Codec flags (PodImageHeader.codec_flags) -------------------------------
+// Recorded in the header so a reader knows how region records were
+// produced; images written with all flags clear are byte-compatible with
+// format v1 plus ignorable trailing header fields.
+constexpr u32 kCodecZeroElide = 1u << 0;  // all-zero regions stored as size
+constexpr u32 kCodecDedup = 1u << 1;      // identical regions stored as refs
+constexpr u32 kCodecDelta = 1u << 2;      // image is a delta over base_uri
 
 /// Header record: identity plus the time-virtualization state needed to
 /// bias clocks at restart.
@@ -141,6 +161,13 @@ struct PodImageHeader {
   bool time_virt = true;
   u64 ckpt_virtual_time = 0;  // pod-visible time at checkpoint
   i64 time_delta = 0;         // pod's accumulated bias at checkpoint
+
+  // v2 fields (absent in old images; decoded as defaults there).
+  u32 codec_flags = 0;   // kCodec* bits in effect for this image
+  u32 delta_seq = 0;     // 0 = full image, N = Nth delta in its chain
+  std::string base_uri;  // where the base image lives (delta images only)
+
+  bool is_delta() const { return (codec_flags & kCodecDelta) != 0; }
 };
 
 /// A whole parsed pod checkpoint.
@@ -163,12 +190,35 @@ struct PodImage {
 
 // ---- Encoding / decoding ----------------------------------------------------
 
-/// Serializes a PodImage into the record stream format.
+/// Serializes a PodImage into the record stream format.  Respects
+/// `image.header.codec_flags`: with kCodecZeroElide all-zero regions are
+/// written as MEM_REGION_ZERO (size only), with kCodecDedup a region
+/// byte-identical to an earlier one in the same image is written as a
+/// MEM_REGION_REF back-reference.  With all flags clear the output is
+/// plain v1-style MEM_REGION records.
 Bytes encode_image(const PodImage& image);
 
 /// Parses a record stream back into a PodImage (Err::PROTO on corruption
-/// or unknown mandatory records).
+/// or unknown mandatory records).  Zero/ref region records are expanded
+/// back to full buffers, so decode(encode(x)) is codec-independent.
 Result<PodImage> decode_image(const Bytes& data);
+
+/// Decodes just the first record of `data` as the image header, without
+/// touching the rest of the stream.  Used to discover a delta image's
+/// base_uri/chain position before deciding how to restore it.
+Result<PodImageHeader> peek_header(const Bytes& data);
+
+/// Lower bound of encode_image output size, used to reserve() the
+/// output buffer in one shot.
+std::size_t encoded_size_hint(const PodImage& image);
+
+/// Overlays `delta` (a kCodecDelta image) onto `base` (the already fully
+/// composed predecessor).  All non-region state comes from the delta;
+/// region bytes come from the delta where included and from the base for
+/// regions the delta's manifest lists as clean.  The result is a full
+/// image (delta flag cleared).  Err::PROTO if the delta references a
+/// region or process the base does not have.
+Result<PodImage> compose_delta(PodImage base, const PodImage& delta);
 
 /// Encodes just the meta-data table (sent to the Manager during
 /// checkpoint, step 2a).

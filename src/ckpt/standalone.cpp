@@ -1,8 +1,21 @@
 #include "ckpt/standalone.h"
 
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace zapc::ckpt {
+
+DeltaBaseline DeltaBaseline::from_images(
+    const std::vector<ProcessImage>& images) {
+  DeltaBaseline b;
+  for (const auto& img : images) {
+    auto& per_proc = b.gens[img.vpid];
+    for (const auto& [name, meta] : img.manifest) {
+      per_proc[name] = meta.gen;
+    }
+  }
+  return b;
+}
 
 PodImageHeader Standalone::save_header(const pod::Pod& pod) {
   PodImageHeader h;
@@ -16,7 +29,8 @@ PodImageHeader Standalone::save_header(const pod::Pod& pod) {
 }
 
 ProcessImage Standalone::save_process(const pod::Pod& pod,
-                                      const os::Process& proc) {
+                                      const os::Process& proc,
+                                      const DeltaBaseline* baseline) {
   ProcessImage img;
   img.vpid = proc.vpid();
   img.kind = proc.program().kind();
@@ -29,7 +43,47 @@ ProcessImage Standalone::save_process(const pod::Pod& pod,
   img.program_state = e.take();
 
   img.fds = proc.fd_table();
-  img.regions = proc.regions();
+
+  // The manifest lists every live region with its current generation;
+  // region *bytes* are included either in full or — in delta mode — only
+  // for regions the baseline has not seen at this generation.
+  img.region_gen_counter = proc.region_gen_counter();
+  const auto& gens = proc.region_gens();
+  const std::map<std::string, u64>* base_gens = nullptr;
+  if (baseline != nullptr) {
+    auto it = baseline->gens.find(proc.vpid());
+    if (it != baseline->gens.end()) base_gens = &it->second;
+  }
+  u64 total = 0, dirty = 0;
+  u64 logical_bytes = 0, included_bytes = 0;
+  for (const auto& [name, bytes] : proc.regions()) {
+    auto git = gens.find(name);
+    u64 gen = git == gens.end() ? 0 : git->second;
+    img.manifest[name] = RegionMeta{gen, bytes.size()};
+    ++total;
+    logical_bytes += bytes.size();
+    bool include = true;
+    if (baseline != nullptr) {
+      // Dirty iff the baseline never saw this region, or its generation
+      // moved since.  A region absent from both gens maps (never touched
+      // via region()) is clean once the baseline recorded it.
+      if (base_gens != nullptr) {
+        auto bit = base_gens->find(name);
+        include = bit == base_gens->end() || bit->second != gen;
+      }
+    }
+    if (include) {
+      img.regions[name] = bytes;
+      ++dirty;
+      included_bytes += bytes.size();
+    }
+  }
+  if (baseline != nullptr) {
+    obs::metrics().counter("ckpt.incr.regions_total").inc(total);
+    obs::metrics().counter("ckpt.incr.regions_dirty").inc(dirty);
+    obs::metrics().counter("ckpt.incr.logical_bytes").inc(logical_bytes);
+    obs::metrics().counter("ckpt.incr.written_bytes").inc(included_bytes);
+  }
 
   // Timers are stored in engine time; persist the *remaining* time so the
   // restart re-arms them relative to its own clock (paper §5).
@@ -40,10 +94,11 @@ ProcessImage Standalone::save_process(const pod::Pod& pod,
   return img;
 }
 
-std::vector<ProcessImage> Standalone::save_processes(pod::Pod& pod) {
+std::vector<ProcessImage> Standalone::save_processes(
+    pod::Pod& pod, const DeltaBaseline* baseline) {
   std::vector<ProcessImage> out;
   for (os::Process* p : pod.processes()) {
-    out.push_back(save_process(pod, *p));
+    out.push_back(save_process(pod, *p, baseline));
   }
   return out;
 }
@@ -88,6 +143,13 @@ Status Standalone::restore_process(pod::Pod& pod, const ProcessImage& image,
   proc.set_next_fd(image.next_fd);
 
   proc.regions_mut() = image.regions;
+  // Reinstate the dirty-tracking clock so a delta taken after restart
+  // diffs against the same generations the image recorded.
+  {
+    std::map<std::string, u64> gens;
+    for (const auto& [name, meta] : image.manifest) gens[name] = meta.gen;
+    proc.set_region_gens(std::move(gens), image.region_gen_counter);
+  }
 
   sim::Time now = pod.engine_now();
   for (const auto& [id, remaining] : image.timer_remaining) {

@@ -19,6 +19,18 @@ namespace zapc::ckpt {
 /// network-state restore.
 using SockMap = std::unordered_map<net::SockId, net::SockId>;
 
+/// Region generations as of a prior (base) checkpoint, used to decide
+/// which regions a delta checkpoint must re-emit.  Built from the
+/// ProcessImages of the base capture, so it reflects exactly what that
+/// image contains — not whatever the pod mutated since.
+struct DeltaBaseline {
+  /// vpid -> region name -> generation at the base checkpoint.
+  std::map<i32, std::map<std::string, u64>> gens;
+
+  static DeltaBaseline from_images(const std::vector<ProcessImage>& images);
+  bool empty() const { return gens.empty(); }
+};
+
 class Standalone {
  public:
   /// Captures the pod header (namespace + time-virtualization state).
@@ -26,11 +38,17 @@ class Standalone {
   static PodImageHeader save_header(const pod::Pod& pod);
 
   /// Captures one process: program state, fd table, memory, timers.
+  /// With a non-null `baseline`, region bytes are included only for
+  /// regions that are new or whose generation changed since the baseline
+  /// (delta mode); the manifest always lists every live region.
   static ProcessImage save_process(const pod::Pod& pod,
-                                   const os::Process& proc);
+                                   const os::Process& proc,
+                                   const DeltaBaseline* baseline = nullptr);
 
-  /// Captures every process of the pod (sorted by vpid).
-  static std::vector<ProcessImage> save_processes(pod::Pod& pod);
+  /// Captures every process of the pod (sorted by vpid).  See
+  /// save_process for `baseline` semantics.
+  static std::vector<ProcessImage> save_processes(
+      pod::Pod& pod, const DeltaBaseline* baseline = nullptr);
 
   /// Applies the header to a freshly created pod: vpid counter and the
   /// time bias delta = (checkpoint virtual time) − (current time), so the

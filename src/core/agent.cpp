@@ -268,6 +268,38 @@ void Agent::ckpt_begin(Conn* conn, CheckpointCmd cmd) {
 
 // ---- NETWORK_LAST ablation path ------------------------------------------------
 
+void Agent::capture_standalone(const std::shared_ptr<CkptOp>& op,
+                               pod::Pod& pod) {
+  op->image.header = ckpt::Standalone::save_header(pod);
+  op->image.header.codec_flags =
+      op->cmd.codec_flags & (ckpt::kCodecZeroElide | ckpt::kCodecDedup);
+
+  // Delta eligibility: incremental snapshots to the SAN only, with a
+  // valid baseline, an un-exhausted chain, and a destination that would
+  // not overwrite one of the chain's own images.
+  const ckpt::DeltaBaseline* baseline = nullptr;
+  if (op->cmd.incremental && op->cmd.mode == CkptMode::SNAPSHOT) {
+    auto uri = parse_uri(op->cmd.dest_uri);
+    auto it = incr_.find(op->cmd.pod_name);
+    if (uri && uri.value().scheme == "san" && it != incr_.end() &&
+        it->second.valid && it->second.chain_len < op->cmd.chain_cap &&
+        it->second.chain_uris.count(uri.value().path) == 0) {
+      baseline = &it->second.base;
+      op->is_delta = true;
+      op->image.header.codec_flags |= ckpt::kCodecDelta;
+      op->image.header.delta_seq = it->second.delta_seq + 1;
+      op->image.header.base_uri = it->second.last_uri;
+    }
+  }
+  op->image.processes = ckpt::Standalone::save_processes(pod, baseline);
+  op->logical_bytes = 0;
+  for (const auto& p : op->image.processes) {
+    for (const auto& [name, meta] : p.manifest) {
+      op->logical_bytes += meta.size;
+    }
+  }
+}
+
 void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
   if (op->aborted) return;
   pod::Pod* pod = find_pod(op->cmd.pod_name);
@@ -282,8 +314,7 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
                                       op->span_root, op->cmd.op_id);
   }
 
-  op->image.header = ckpt::Standalone::save_header(*pod);
-  op->image.processes = ckpt::Standalone::save_processes(*pod);
+  capture_standalone(op, *pod);
   u64 bytes = 0;
   for (const auto& p : op->image.processes) {
     for (const auto& [name, r] : p.regions) bytes += r.size();
@@ -406,8 +437,7 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
   }
 
   // Step 3: standalone pod checkpoint (Zap substrate).
-  op->image.header = ckpt::Standalone::save_header(*pod);
-  op->image.processes = ckpt::Standalone::save_processes(*pod);
+  capture_standalone(op, *pod);
 
   // Migration redirect optimization (paper §5): ship each send queue
   // directly to the agent receiving the peer's stream instead of
@@ -442,17 +472,91 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
 
   Bytes encoded = ckpt::encode_image(op->image);
   u64 image_bytes = encoded.size();
+
+  // Pipelined migration streaming: hand chunks to the wire as their
+  // serialization slices complete instead of materializing-then-sending.
+  if (op->cmd.pipelined) {
+    auto uri = parse_uri(op->cmd.dest_uri);
+    if (uri && uri.value().scheme == "agent") {
+      op->encoded_image = std::move(encoded);
+      ckpt_stream(op, uri.value().endpoint, uri.value().path);
+      return;
+    }
+  }
+
   sim::Time cost = costs_.standalone_ckpt_cost(image_bytes,
                                                op->image.processes.size());
   after(cost, [this, op, cost, encoded = std::move(encoded)]() mutable {
     if (op->aborted) return;
     obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
     trace_op("3: standalone checkpoint done for " + op->cmd.pod_name + " (" +
-                 std::to_string(encoded.size()) + " bytes)",
+                 std::to_string(encoded.size()) + " bytes)" +
+                 (op->is_delta
+                      ? " [delta #" +
+                            std::to_string(op->image.header.delta_seq) + "]"
+                      : ""),
              op->cmd.op_id, op->span_root);
     op->encoded_image = std::move(encoded);
     ckpt_standalone_done(op);
   });
+}
+
+void Agent::ckpt_stream(const std::shared_ptr<CkptOp>& op,
+                        const net::SockAddr& endpoint,
+                        const std::string& tag) {
+  auto ch = connect_channel(node_.host_stack(), endpoint);
+  if (ch == nullptr) return ckpt_abort(op, "cannot reach stream target");
+  MsgChannel* raw = ch.get();
+  out_channels_.push_back(std::move(ch));
+  (void)raw->send(encode_stream_open(StreamOpen{op->cmd.op_id, tag}));
+  if (obs::SpanRecorder* r = rec()) {
+    op->span_stream = r->begin_at(node_.now(), "ckpt.stream", who(),
+                                  op->span_root, op->cmd.op_id);
+  }
+
+  const sim::Time t0 = node_.now();
+  // Per-process control overhead is charged once, up front; after that
+  // each chunk becomes sendable when its serialization slice elapses.
+  // The chunk enters the (simulated) TCP pipe at that moment, so
+  // transfer overlaps the remaining serialization — the modeled elapsed
+  // time converges on CostModel::pipelined_stream_cost's max() instead
+  // of the summed serialize + transfer of the materialize path.
+  sim::Time at = costs_.per_process * op->image.processes.size();
+  const std::size_t total = op->encoded_image.size();
+  std::size_t sent = 0;
+  do {
+    std::size_t n = std::min(kStreamChunk, total - sent);
+    std::size_t off = sent;
+    sent += n;
+    at += costs_.stream_chunk_cost(n);
+    const bool last = sent >= total;
+    after(at, [this, op, raw, tag, off, n, last, t0, endpoint] {
+      if (op->aborted) return;
+      StreamChunk chunk;
+      chunk.tag = tag;
+      chunk.data.assign(
+          op->encoded_image.begin() + static_cast<long>(off),
+          op->encoded_image.begin() + static_cast<long>(off + n));
+      (void)raw->send(encode_stream_chunk(chunk));
+      if (!last) return;
+      (void)raw->send(encode_stream_close(StreamClose{tag}));
+      ship_redirects(op, raw, endpoint);
+      obs::metrics()
+          .histogram("agent.ckpt.stream_us")
+          .observe(node_.now() - t0);
+      obs::metrics().histogram("agent.ckpt.standalone_us")
+          .observe(node_.now() - t0);
+      if (obs::SpanRecorder* r = rec()) {
+        r->end_at(node_.now(), op->span_stream);
+      }
+      trace_op("3: standalone checkpoint streamed for " + op->cmd.pod_name +
+                   " (" + std::to_string(op->encoded_image.size()) +
+                   " bytes pipelined)",
+               op->cmd.op_id, op->span_root);
+      op->delivered = true;
+      ckpt_standalone_done(op);
+    });
+  } while (sent < total);
 }
 
 void Agent::ckpt_standalone_done(const std::shared_ptr<CkptOp>& op) {
@@ -463,8 +567,29 @@ void Agent::ckpt_standalone_done(const std::shared_ptr<CkptOp>& op) {
     op->span_barrier = r->begin_at(node_.now(), "ckpt.barrier", who(),
                                    op->span_root, op->cmd.op_id);
   }
-  deliver_image(op);
+  if (!op->delivered) deliver_image(op);
   ckpt_maybe_finish(op);
+}
+
+void Agent::ship_redirects(const std::shared_ptr<CkptOp>& op, MsgChannel* raw,
+                           const net::SockAddr& stream_endpoint) {
+  // Redirected send queues go to the agents receiving the peers'
+  // streams.
+  for (auto& rd : op->redirects) {
+    net::SockAddr peer_agent{};
+    for (const auto& [vip, a] : op->cmd.peer_agents) {
+      if (vip == rd.dst_pod_vip) peer_agent = a;
+    }
+    if (peer_agent.port == 0) continue;  // peer not migrating
+    MsgChannel* target = raw;
+    if (peer_agent != stream_endpoint) {
+      auto ch2 = connect_channel(node_.host_stack(), peer_agent);
+      if (ch2 == nullptr) continue;
+      target = ch2.get();
+      out_channels_.push_back(std::move(ch2));
+    }
+    (void)target->send(encode_redirect_data(rd));
+  }
 }
 
 void Agent::deliver_image(const std::shared_ptr<CkptOp>& op) {
@@ -473,12 +598,31 @@ void Agent::deliver_image(const std::shared_ptr<CkptOp>& op) {
 
   if (uri.value().scheme == "san") {
     node_.san().write(uri.value().path, op->encoded_image);
+    if (op->cmd.mode == CkptMode::SNAPSHOT) {
+      // Commit the incremental chain state only once the image is safely
+      // on the SAN; the next incremental checkpoint diffs against it.
+      IncrState& st = incr_[op->cmd.pod_name];
+      if (op->is_delta) {
+        st.chain_len += 1;
+        st.delta_seq = op->image.header.delta_seq;
+      } else {
+        st.chain_uris.clear();
+        st.chain_len = 0;
+        st.delta_seq = 0;
+      }
+      st.chain_uris.insert(uri.value().path);
+      st.last_uri = op->cmd.dest_uri;
+      st.base = ckpt::DeltaBaseline::from_images(op->image.processes);
+      st.valid = true;
+    }
     return;
   }
   if (uri.value().scheme == "agent") {
     // Direct streaming to the destination agent — "enabling direct
     // migration of a distributed application to a new set of nodes
     // without saving and restoring state from secondary storage" (§1).
+    // (Materialize-then-send path; see ckpt_stream for the pipelined
+    // variant.)
     auto ch = connect_channel(node_.host_stack(), uri.value().endpoint);
     if (ch == nullptr) return ckpt_abort(op, "cannot reach stream target");
     MsgChannel* raw = ch.get();
@@ -495,24 +639,7 @@ void Agent::deliver_image(const std::shared_ptr<CkptOp>& op) {
       (void)raw->send(encode_stream_chunk(chunk));
     }
     (void)raw->send(encode_stream_close(StreamClose{uri.value().path}));
-
-    // Redirected send queues go to the agents receiving the peers'
-    // streams.
-    for (auto& rd : op->redirects) {
-      net::SockAddr peer_agent{};
-      for (const auto& [vip, a] : op->cmd.peer_agents) {
-        if (vip == rd.dst_pod_vip) peer_agent = a;
-      }
-      if (peer_agent.port == 0) continue;  // peer not migrating
-      MsgChannel* target = raw;
-      if (peer_agent != uri.value().endpoint) {
-        auto ch2 = connect_channel(node_.host_stack(), peer_agent);
-        if (ch2 == nullptr) continue;
-        target = ch2.get();
-        out_channels_.push_back(std::move(ch2));
-      }
-      (void)target->send(encode_redirect_data(rd));
-    }
+    ship_redirects(op, raw, uri.value().endpoint);
     return;
   }
   ckpt_abort(op, "unsupported checkpoint destination " + op->cmd.dest_uri);
@@ -580,6 +707,8 @@ void Agent::ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op) {
   done.image_bytes = op->encoded_image.size();
   done.network_bytes = op->image.network_bytes();
   done.total_us = node_.now() - op->t_start;
+  done.logical_bytes = op->logical_bytes;
+  done.delta_seq = op->is_delta ? op->image.header.delta_seq : 0;
   (void)op->mgr->send(encode_ckpt_done(done));
 }
 
@@ -599,6 +728,7 @@ void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
     r->end_at(node_.now(), op->span_suspend);
     r->end_at(node_.now(), op->span_netckpt);
     r->end_at(node_.now(), op->span_standalone);
+    r->end_at(node_.now(), op->span_stream);
     r->end_at(node_.now(), op->span_barrier);
     r->end_at(node_.now(), op->span_root);
   }
@@ -666,6 +796,41 @@ void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
   auto image = ckpt::decode_image(image_bytes);
   if (!image) return restart_finish(op, image.status());
   op->image = std::move(image).value();
+
+  // Delta image: walk the base chain back to the full root (all bases
+  // live on the cluster-wide SAN, so any node can compose), then overlay
+  // the deltas oldest-first.
+  if (op->image.header.is_delta()) {
+    std::vector<ckpt::PodImage> chain;  // newest delta first
+    std::size_t depth = 0;
+    while (op->image.header.is_delta()) {
+      if (++depth > 64) {
+        return restart_finish(op,
+                              Status(Err::PROTO, "delta chain too deep"));
+      }
+      auto base_uri = parse_uri(op->image.header.base_uri);
+      if (!base_uri || base_uri.value().scheme != "san") {
+        return restart_finish(
+            op, Status(Err::PROTO, "delta base must be on the SAN: " +
+                                       op->image.header.base_uri));
+      }
+      auto data = node_.san().read(base_uri.value().path);
+      if (!data) return restart_finish(op, data.status());
+      auto base = ckpt::decode_image(data.value());
+      if (!base) return restart_finish(op, base.status());
+      chain.push_back(std::move(op->image));
+      op->image = std::move(base).value();
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      auto composed = ckpt::compose_delta(std::move(op->image), *it);
+      if (!composed) return restart_finish(op, composed.status());
+      op->image = std::move(composed).value();
+    }
+    obs::metrics().counter("agent.restart.deltas_composed").inc(depth);
+    trace_op("0: composed delta chain of depth " + std::to_string(depth) +
+                 " for " + op->cmd.pod_name,
+             op->cmd.op_id, op->span_root);
+  }
 
   if (node_.find_domain(op->image.header.vip) != nullptr) {
     return restart_finish(

@@ -76,6 +76,10 @@ class Agent {
     bool standalone_done = false;
     bool finished = false;
     bool aborted = false;
+    // Incremental / streaming bookkeeping.
+    bool is_delta = false;   // this image is a delta over the prior one
+    u64 logical_bytes = 0;   // full pre-codec state size (all regions)
+    bool delivered = false;  // image already shipped (pipelined stream)
     // Id of the Manager's 'mgr.continue' EVENT (from the CONTINUE
     // message): the cross-node parent of this agent's resume records.
     obs::SpanId continue_event = 0;
@@ -84,6 +88,7 @@ class Agent {
     obs::SpanId span_suspend = 0;     // "ckpt.suspend"
     obs::SpanId span_netckpt = 0;     // "ckpt.netckpt"
     obs::SpanId span_standalone = 0;  // "ckpt.standalone"
+    obs::SpanId span_stream = 0;      // "ckpt.stream" (pipelined delivery)
     obs::SpanId span_barrier = 0;     // "ckpt.barrier"
   };
 
@@ -128,6 +133,18 @@ class Agent {
   void ckpt_abort(const std::shared_ptr<CkptOp>& op,
                   const std::string& why);
   void deliver_image(const std::shared_ptr<CkptOp>& op);
+  /// Captures header + processes into op->image, deciding full vs delta
+  /// from the command and this agent's per-pod incremental state.
+  void capture_standalone(const std::shared_ptr<CkptOp>& op, pod::Pod& pod);
+  /// Pipelined delivery for agent:// destinations: schedules each chunk's
+  /// send at the virtual time its serialization slice completes, so the
+  /// wire transfer overlaps serialization instead of following it.
+  void ckpt_stream(const std::shared_ptr<CkptOp>& op,
+                   const net::SockAddr& endpoint, const std::string& tag);
+  /// Ships redirected send queues to the peers' receiving agents
+  /// (migration optimization); `raw` is the already-open stream channel.
+  void ship_redirects(const std::shared_ptr<CkptOp>& op, MsgChannel* raw,
+                      const net::SockAddr& stream_endpoint);
 
   // Restart phases (Figure 3, agent side).
   void restart_begin(Conn* conn, RestartCmd cmd);
@@ -163,6 +180,20 @@ class Agent {
   std::list<Conn> conns_;
 
   std::map<std::string, std::unique_ptr<pod::Pod>> pods_;
+
+  // Incremental checkpoint chain state, per pod.  `base` holds the
+  // region generations of the most recent image so the next delta knows
+  // what the chain already contains; `chain_uris` guards against a delta
+  // overwriting one of its own ancestors on the SAN.
+  struct IncrState {
+    std::string last_uri;            // URI of the most recent image
+    std::set<std::string> chain_uris;  // SAN paths of the current chain
+    u32 chain_len = 0;               // deltas since the last full image
+    u32 delta_seq = 0;
+    ckpt::DeltaBaseline base;
+    bool valid = false;
+  };
+  std::map<std::string, IncrState> incr_;
 
   // Streamed checkpoint images (direct migration) by tag.
   struct Stream {

@@ -57,6 +57,29 @@ struct CostModel {
            bytes_cost(queued_bytes, net_bytes_per_sec);
   }
 
+  /// Serialization time of one streamed chunk; the per-chunk slice of
+  /// standalone_ckpt_cost's byte term (the per-process term is charged
+  /// once, up front, by the caller).
+  sim::Time stream_chunk_cost(u64 chunk_bytes) const {
+    return bytes_cost(chunk_bytes, ckpt_bytes_per_sec);
+  }
+
+  /// Modeled elapsed time of a pipelined image transfer: serialization
+  /// overlaps the wire, so the pipeline drains in
+  /// max(serialize, transfer) plus one chunk's fill latency on the slower
+  /// leg, instead of serialize + transfer.  `wire_bytes_per_sec` is the
+  /// fabric bandwidth available to the stream.
+  sim::Time pipelined_stream_cost(u64 image_bytes, u64 wire_bytes_per_sec,
+                                  u64 chunk_bytes) const {
+    sim::Time serialize = bytes_cost(image_bytes, ckpt_bytes_per_sec);
+    sim::Time transfer = bytes_cost(image_bytes, wire_bytes_per_sec);
+    u64 first = image_bytes < chunk_bytes ? image_bytes : chunk_bytes;
+    sim::Time fill = serialize >= transfer
+                         ? bytes_cost(first, wire_bytes_per_sec)
+                         : bytes_cost(first, ckpt_bytes_per_sec);
+    return (serialize >= transfer ? serialize : transfer) + fill;
+  }
+
   static sim::Time bytes_cost(u64 bytes, u64 per_sec) {
     return per_sec == 0 ? 0 : bytes * sim::kSecond / per_sec;
   }

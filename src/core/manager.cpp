@@ -27,8 +27,7 @@ void Manager::trace_op(const std::string& what, obs::OpId op,
 // ---- Checkpoint -----------------------------------------------------------------
 
 void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
-                         CheckpointDoneFn done, bool redirect_send_queues,
-                         bool fs_snapshot) {
+                         CheckpointDoneFn done, CkptOptions opts) {
   if (op_ != nullptr) {
     CheckpointReport r;
     r.error = "manager busy";
@@ -37,7 +36,7 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
   }
   op_ = std::make_unique<CkptState>();
   op_->mode = mode;
-  op_->redirect = redirect_send_queues && mode == CkptMode::MIGRATE;
+  op_->redirect = opts.redirect_send_queues && mode == CkptMode::MIGRATE;
   op_->t_start = node_.now();
   op_->done_fn = std::move(done);
   op_->op_id = obs::next_op_id();
@@ -114,9 +113,13 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
     cmd.pod_name = peer.target.pod_name;
     cmd.dest_uri = peer.target.uri;
     cmd.mode = mode;
-    cmd.redirect_send_queues = redirect_send_queues;
-    cmd.fs_snapshot = fs_snapshot;
+    cmd.redirect_send_queues = opts.redirect_send_queues;
+    cmd.fs_snapshot = opts.fs_snapshot;
     cmd.peer_agents = peer_agents;
+    cmd.incremental = opts.incremental;
+    cmd.chain_cap = opts.chain_cap;
+    cmd.codec_flags = opts.codec_flags;
+    cmd.pipelined = opts.pipelined_stream;
     (void)peer.ch->send(encode_checkpoint_cmd(cmd));
   }
 }
@@ -253,8 +256,8 @@ void Manager::ckpt_fail(const std::string& why) {
 
 // ---- Migration -------------------------------------------------------------------
 
-void Manager::migrate(std::vector<MigrateTarget> targets,
-                      MigrateDoneFn done) {
+void Manager::migrate(std::vector<MigrateTarget> targets, MigrateDoneFn done,
+                      MigrateOptions opts) {
   std::vector<Target> ckpt_targets;
   std::vector<Target> restart_targets;
   for (const MigrateTarget& t : targets) {
@@ -292,7 +295,10 @@ void Manager::migrate(std::vector<MigrateTarget> targets,
                   (*done_ptr)(std::move(r));
                 });
       },
-      /*redirect_send_queues=*/true);
+      CkptOptions{/*redirect_send_queues=*/true, /*fs_snapshot=*/false,
+                  /*incremental=*/false, /*chain_cap=*/8,
+                  /*codec_flags=*/opts.codec_flags,
+                  /*pipelined_stream=*/opts.pipelined_stream});
 }
 
 // ---- Restart ---------------------------------------------------------------------

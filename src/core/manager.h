@@ -69,12 +69,30 @@ class Manager {
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
 
-  /// Coordinated checkpoint of all targets.  `redirect_send_queues`
-  /// enables the migration send-queue redirect optimization (only
-  /// meaningful with CkptMode::MIGRATE and agent:// URIs).
+  /// Per-checkpoint knobs beyond the target list and mode.
+  struct CkptOptions {
+    /// Migration send-queue redirect optimization (only meaningful with
+    /// CkptMode::MIGRATE and agent:// URIs).
+    bool redirect_send_queues = false;
+    bool fs_snapshot = false;  // take a SAN snapshot of the pod dir
+    /// Incremental checkpoints: agents emit deltas over their previous
+    /// SAN image where possible, forcing a full image every `chain_cap`
+    /// deltas.
+    bool incremental = false;
+    u32 chain_cap = 8;
+    /// ckpt::kCodec* bits (zero elision / dedup) for the image encoder.
+    u32 codec_flags = 0;
+    /// Migration: stream image chunks as serialization produces them.
+    bool pipelined_stream = false;
+  };
+
+  /// Coordinated checkpoint of all targets.
   void checkpoint(std::vector<Target> targets, CkptMode mode,
-                  CheckpointDoneFn done, bool redirect_send_queues = false,
-                  bool fs_snapshot = false);
+                  CheckpointDoneFn done, CkptOptions opts);
+  void checkpoint(std::vector<Target> targets, CkptMode mode,
+                  CheckpointDoneFn done) {
+    checkpoint(std::move(targets), mode, std::move(done), CkptOptions());
+  }
 
   /// Coordinated restart.  `metas` must hold the checkpoint meta-data per
   /// pod name; pass {} to use the metas cached from the last checkpoint
@@ -101,12 +119,25 @@ class Manager {
   };
   using MigrateDoneFn = std::function<void(MigrateReport)>;
 
+  struct MigrateOptions {
+    /// Stream image chunks to the destination as serialization produces
+    /// them (overlapping serialize and transfer) instead of
+    /// materializing the full image before the first byte moves.
+    bool pipelined_stream = true;
+    /// ckpt::kCodec* bits for the streamed image.
+    u32 codec_flags = 0;
+  };
+
   /// Live migration in one call (paper §1: "directly stream checkpoint
   /// data from one set of nodes to another"): coordinated MIGRATE
   /// checkpoint with direct agent-to-agent streaming and the send-queue
   /// redirect optimization, followed by the coordinated restart on the
   /// destination agents.
-  void migrate(std::vector<MigrateTarget> targets, MigrateDoneFn done);
+  void migrate(std::vector<MigrateTarget> targets, MigrateDoneFn done,
+               MigrateOptions opts);
+  void migrate(std::vector<MigrateTarget> targets, MigrateDoneFn done) {
+    migrate(std::move(targets), std::move(done), MigrateOptions());
+  }
 
   /// Meta-data cached from the last successful checkpoint.
   const std::map<std::string, ckpt::NetMeta>& last_metas() const {

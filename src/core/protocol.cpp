@@ -52,6 +52,10 @@ Bytes encode_checkpoint_cmd(const CheckpointCmd& m) {
     e.put_u32(vip.v);
     put_addr(e, addr);
   }
+  e.put_bool(m.incremental);
+  e.put_u32(m.chain_cap);
+  e.put_u32(m.codec_flags);
+  e.put_bool(m.pipelined);
   return e.take();
 }
 
@@ -72,6 +76,10 @@ Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg) {
     net::IpAddr vip(d.u32_().value_or(0));
     m.peer_agents.emplace_back(vip, get_addr(d));
   }
+  m.incremental = d.bool_().value_or(false);
+  m.chain_cap = d.u32_().value_or(8);
+  m.codec_flags = d.u32_().value_or(0);
+  m.pipelined = d.bool_().value_or(false);
   return m;
 }
 
@@ -124,6 +132,8 @@ Bytes encode_ckpt_done(const CkptDone& m) {
   e.put_u64(m.image_bytes);
   e.put_u64(m.network_bytes);
   e.put_u64(m.total_us);
+  e.put_u64(m.logical_bytes);
+  e.put_u32(m.delta_seq);
   return e.take();
 }
 
@@ -139,6 +149,8 @@ Result<CkptDone> decode_ckpt_done(const Bytes& msg) {
   m.image_bytes = d.u64_().value_or(0);
   m.network_bytes = d.u64_().value_or(0);
   m.total_us = d.u64_().value_or(0);
+  m.logical_bytes = d.u64_().value_or(0);
+  m.delta_seq = d.u32_().value_or(0);
   return m;
 }
 

@@ -62,6 +62,16 @@ struct CheckpointCmd {
   /// For the redirect optimization: where each peer pod's checkpoint
   /// stream is being received (vip → receiving agent address/tag).
   std::vector<std::pair<net::IpAddr, net::SockAddr>> peer_agents;
+  // Appended fields (old peers decode them as defaults).
+  /// Incremental mode: emit a delta over the pod's previous SAN image
+  /// when one exists; the agent falls back to a full checkpoint when the
+  /// chain cap is reached or no usable base exists.
+  bool incremental = false;
+  u32 chain_cap = 8;     // max deltas before a forced full checkpoint
+  u32 codec_flags = 0;   // ckpt::kCodec* bits to encode with
+  /// Migration: stream image chunks as serialization produces them
+  /// instead of materializing the whole image first.
+  bool pipelined = false;
 };
 
 struct MetaReport {
@@ -88,6 +98,9 @@ struct CkptDone {
   u64 image_bytes = 0;
   u64 network_bytes = 0;
   u64 total_us = 0;  // suspend → done, as seen by the agent
+  // Appended fields (old peers decode them as defaults).
+  u64 logical_bytes = 0;  // pre-codec, pre-delta state size (0 = unknown)
+  u32 delta_seq = 0;      // 0 = full image, N = Nth delta in its chain
 };
 
 struct RestartCmd {

@@ -110,11 +110,22 @@ inline void ensure_core_metrics() {
   m.histogram("agent.ckpt.suspend_us");
   m.histogram("agent.ckpt.netckpt_us");
   m.histogram("agent.ckpt.standalone_us");
+  m.histogram("agent.ckpt.stream_us");
   m.histogram("agent.ckpt.barrier_wait_us");
   m.histogram("agent.restart.connectivity_us");
   m.histogram("agent.restart.netstate_us");
   m.histogram("agent.restart.standalone_us");
+  m.counter("agent.restart.deltas_composed");
   m.histogram("ckpt.image_bytes", byte_buckets());
+  // Incremental checkpoint pipeline: dirty-region ratio and the split
+  // between logical state size and bytes actually written.
+  m.counter("ckpt.incr.regions_total");
+  m.counter("ckpt.incr.regions_dirty");
+  m.counter("ckpt.incr.logical_bytes");
+  m.counter("ckpt.incr.written_bytes");
+  // Image codec savings (zero-block elision, content dedup).
+  m.counter("ckpt.codec.zero_saved_bytes");
+  m.counter("ckpt.codec.dedup_saved_bytes");
 }
 
 }  // namespace zapc::obs::stats

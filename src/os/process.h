@@ -83,13 +83,30 @@ class Process {
   void set_next_fd(int fd) { next_fd_ = fd; }
 
   // ---- Memory regions -------------------------------------------------------
+  // Each region carries a generation counter bumped on every mutable
+  // access.  A real kernel would track dirty pages via write protection;
+  // here region() handing out a writable buffer is the moral equivalent
+  // of a write fault, so any touched region is conservatively dirty.
+  // Incremental checkpoints diff these generations against the ones
+  // recorded in the base image to decide which regions to re-emit.
   Bytes& region(const std::string& name, std::size_t size) {
     Bytes& r = regions_[name];
     if (r.size() < size) r.resize(size);
+    region_gens_[name] = ++region_gen_counter_;
     return r;
   }
   const std::map<std::string, Bytes>& regions() const { return regions_; }
   std::map<std::string, Bytes>& regions_mut() { return regions_; }
+  const std::map<std::string, u64>& region_gens() const {
+    return region_gens_;
+  }
+  u64 region_gen_counter() const { return region_gen_counter_; }
+  /// Restart path: reinstates the generation state saved in an image so
+  /// that a delta taken after restart diffs against the right baseline.
+  void set_region_gens(std::map<std::string, u64> gens, u64 counter) {
+    region_gens_ = std::move(gens);
+    region_gen_counter_ = counter;
+  }
   std::size_t memory_bytes() const {
     std::size_t n = 0;
     for (const auto& [name, r] : regions_) n += r.size();
@@ -112,6 +129,8 @@ class Process {
   std::map<int, net::SockId> fds_;
   int next_fd_ = 3;
   std::map<std::string, Bytes> regions_;
+  std::map<std::string, u64> region_gens_;
+  u64 region_gen_counter_ = 0;
   std::map<u32, sim::Time> timers_;
 };
 

@@ -14,9 +14,15 @@ u32 crc32(const u8* p, std::size_t n);
 inline u32 crc32(const Bytes& b) { return crc32(b.data(), b.size()); }
 
 /// Incremental interface: start with crc32_init(), fold in chunks with
-/// crc32_update(), close with crc32_final().
+/// crc32_update(), close with crc32_final().  crc32_update uses a
+/// slice-by-8 table walk (8 input bytes per iteration).
 u32 crc32_init();
 u32 crc32_update(u32 state, const u8* p, std::size_t n);
 u32 crc32_final(u32 state);
+
+/// Reference one-byte-per-iteration update.  Produces identical results
+/// to crc32_update; kept for the bench_micro before/after comparison and
+/// as the tail handler of the sliced variant.
+u32 crc32_update_bytewise(u32 state, const u8* p, std::size_t n);
 
 }  // namespace zapc

@@ -19,6 +19,9 @@ const char* record_tag_name(RecordTag tag) {
     case RecordTag::REDIRECTED_SEND_Q: return "redirected_send_q";
     case RecordTag::IMAGE_END: return "image_end";
     case RecordTag::GM_DEVICE: return "gm_device";
+    case RecordTag::REGION_MANIFEST: return "region_manifest";
+    case RecordTag::MEM_REGION_ZERO: return "mem_region_zero";
+    case RecordTag::MEM_REGION_REF: return "mem_region_ref";
   }
   return "unknown";
 }
@@ -31,16 +34,33 @@ void RecordWriter::write(RecordTag tag, u16 version, const Bytes& payload) {
   buf_.put_u32(record_crc(tag, version, payload));
 }
 
+void RecordWriter::write_split(RecordTag tag, u16 version, const Bytes& head,
+                               const u8* body, std::size_t body_len) {
+  buf_.reserve(4 + 2 + 8 + head.size() + body_len + 4);
+  buf_.put_u32(static_cast<u32>(tag));
+  buf_.put_u16(version);
+  buf_.put_u64(head.size() + body_len);
+  buf_.put_raw(head.data(), head.size());
+  buf_.put_raw(body, body_len);
+  buf_.put_u32(record_crc_split(tag, version, head, body, body_len));
+}
+
 u32 record_crc(RecordTag tag, u16 version, const Bytes& payload) {
+  return record_crc_split(tag, version, payload, nullptr, 0);
+}
+
+u32 record_crc_split(RecordTag tag, u16 version, const Bytes& head,
+                     const u8* body, std::size_t body_len) {
   // The CRC covers the header fields too, so a bit flip anywhere in a
   // record is caught (the length is covered implicitly: a wrong length
   // misframes the payload).
-  Encoder head;
-  head.put_u32(static_cast<u32>(tag));
-  head.put_u16(version);
+  Encoder hdr;
+  hdr.put_u32(static_cast<u32>(tag));
+  hdr.put_u16(version);
   u32 c = crc32_init();
-  c = crc32_update(c, head.bytes().data(), head.bytes().size());
-  c = crc32_update(c, payload.data(), payload.size());
+  c = crc32_update(c, hdr.bytes().data(), hdr.bytes().size());
+  c = crc32_update(c, head.data(), head.size());
+  if (body_len > 0) c = crc32_update(c, body, body_len);
   return crc32_final(c);
 }
 

@@ -59,6 +59,11 @@ class Encoder {
   /// Raw bytes without a length prefix (caller manages framing).
   void put_raw(const u8* p, std::size_t n) { append_bytes(buf_, p, n); }
 
+  /// Pre-sizes the buffer for `n` more bytes.  Encode paths that know
+  /// their payload size up front use this to avoid repeated growth
+  /// reallocations on multi-megabyte images.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   const Bytes& bytes() const { return buf_; }
   Bytes take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
@@ -190,6 +195,9 @@ enum class RecordTag : u32 {
   REDIRECTED_SEND_Q = 13,// migrated peer send-queue data (redirect optimization)
   IMAGE_END = 14,       // terminator
   GM_DEVICE = 15,       // kernel-bypass device state (paper §5 extension)
+  REGION_MANIFEST = 16, // per-process region name/generation/size table
+  MEM_REGION_ZERO = 17, // all-zero region stored as its size only
+  MEM_REGION_REF = 18,  // region identical to an earlier one in this image
 };
 
 /// Lower-case name of a record tag (e.g. "mem_region"), used for the
@@ -208,6 +216,16 @@ class RecordWriter {
     write(tag, version, enc.take());
   }
 
+  /// Appends one record whose payload is `head` followed by `body`,
+  /// without first concatenating them.  Lets callers frame a small
+  /// encoded prefix plus a large raw buffer (a memory region) with no
+  /// intermediate payload copy.
+  void write_split(RecordTag tag, u16 version, const Bytes& head,
+                   const u8* body, std::size_t body_len);
+
+  /// Pre-sizes the underlying buffer (see Encoder::reserve).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   const Bytes& bytes() const { return buf_.bytes(); }
   Bytes take() { return buf_.take(); }
   std::size_t size() const { return buf_.size(); }
@@ -218,6 +236,10 @@ class RecordWriter {
 
 /// CRC covering a record's header fields and payload.
 u32 record_crc(RecordTag tag, u16 version, const Bytes& payload);
+
+/// Same CRC over a payload given as two spans (head + body).
+u32 record_crc_split(RecordTag tag, u16 version, const Bytes& head,
+                     const u8* body, std::size_t body_len);
 
 /// One parsed record.
 struct Record {

@@ -486,7 +486,8 @@ TEST_F(CoordinatedTest, FsSnapshotTakenBeforeResume) {
         cr = std::move(r);
         done = true;
       },
-      /*redirect=*/false, /*fs_snapshot=*/true);
+      Manager::CkptOptions{/*redirect_send_queues=*/false,
+                           /*fs_snapshot=*/true});
   for (int i = 0; i < 20000 && !done; ++i) cl_.run_for(sim::kMillisecond);
   ASSERT_TRUE(done);
   ASSERT_TRUE(cr.ok);

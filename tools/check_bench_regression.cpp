@@ -1,13 +1,19 @@
 // check_bench_regression: diff two bench_results directories.
 //
 //   check_bench_regression BASELINE_DIR CURRENT_DIR [THRESHOLD_PCT]
+//                          [--max-increase KEYSUBSTR PCT]...
 //
 // The simulation is deterministic in virtual time, so every numeric
 // value in the evidence JSON (counters, histogram sums, bench rows) is
 // reproducible; a relative drift beyond THRESHOLD_PCT (default 10%) on
 // any shared file is a regression.  Files present only on one side are
-// reported but fatal only when the baseline file disappeared.  Exit
-// codes: 0 = within threshold, 1 = regression, 2 = bad invocation.
+// reported but fatal only when the baseline file disappeared.
+//
+// --max-increase adds a one-sided bound on top of the symmetric check:
+// any numeric leaf whose JSON path contains KEYSUBSTR may shrink freely
+// but must not grow more than PCT over the baseline (e.g.
+// `--max-increase avg_image_mb 1` pins full-checkpoint image sizes).
+// Exit codes: 0 = within threshold, 1 = regression, 2 = bad invocation.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -90,17 +96,83 @@ void diff(const Json& base, const Json& cur, const std::string& path,
   }
 }
 
+/// One-sided bound: numeric leaves whose path contains `key` must not
+/// grow more than `max_pct` over the baseline.
+struct IncreaseBound {
+  std::string key;
+  double max_frac = 0;
+};
+
+void check_increase(const Json& base, const Json& cur,
+                    const std::string& path,
+                    const std::vector<IncreaseBound>& bounds,
+                    std::vector<std::string>& out) {
+  if (base.type() != cur.type()) return;  // symmetric diff reports this
+  switch (base.type()) {
+    case Json::Type::NUM: {
+      for (const IncreaseBound& b : bounds) {
+        if (path.find(b.key) == std::string::npos) continue;
+        double a = base.num(), c = cur.num();
+        double denom = std::max(std::abs(a), 1.0);
+        if (c - a > denom * b.max_frac) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        ": %.6g -> %.6g (+%.2f%% exceeds +%.2f%% cap)", a, c,
+                        (c - a) / denom * 100.0, b.max_frac * 100.0);
+          out.push_back(path + buf);
+        }
+      }
+      break;
+    }
+    case Json::Type::ARR: {
+      std::size_t n = std::min(base.size(), cur.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        check_increase(base.items()[i], cur.items()[i],
+                       path + "[" + std::to_string(i) + "]", bounds, out);
+      }
+      break;
+    }
+    case Json::Type::OBJ: {
+      for (const auto& [key, bval] : base.fields()) {
+        const Json* cval = cur.find(key);
+        if (cval != nullptr) {
+          check_increase(bval, *cval, path + "." + key, bounds, out);
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 4) {
+  std::vector<std::string> positional;
+  std::vector<IncreaseBound> bounds;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--max-increase") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "--max-increase needs KEYSUBSTR and PCT\n");
+        return 2;
+      }
+      bounds.push_back(
+          IncreaseBound{argv[i + 1], std::atof(argv[i + 2]) / 100.0});
+      i += 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
                  "usage: check_bench_regression BASELINE_DIR CURRENT_DIR "
-                 "[THRESHOLD_PCT]\n");
+                 "[THRESHOLD_PCT] [--max-increase KEYSUBSTR PCT]...\n");
     return 2;
   }
-  fs::path baseline = argv[1], current = argv[2];
-  double threshold = argc == 4 ? std::atof(argv[3]) / 100.0 : 0.10;
+  fs::path baseline = positional[0], current = positional[1];
+  double threshold =
+      positional.size() == 3 ? std::atof(positional[2].c_str()) / 100.0 : 0.10;
   if (!fs::is_directory(baseline) || !fs::is_directory(current)) {
     std::fprintf(stderr, "check_bench_regression: not a directory\n");
     return 2;
@@ -139,6 +211,9 @@ int main(int argc, char** argv) {
       } else {
         problems.push_back(name + ": rows section missing");
       }
+    }
+    if (!bounds.empty()) {
+      check_increase(a, b, name, bounds, problems);
     }
     ++compared;
     if (problems.size() == before) {
