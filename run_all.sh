@@ -35,4 +35,9 @@ for f in bench_results/*.json; do
   [ "$f" = bench_results/fig2_timeline.json ] && continue
   ./build/tools/zapc-trace --validate --allow-network-last "$f"
 done
-echo "All tests, benches, and trace validation passed; JSON evidence under bench_results/."
+
+# Deterministic fault-injection soak (DESIGN.md §8.4): 200 seeded
+# schedules, each asserting the failure-model invariants end-to-end.
+./build/tools/zapc-soak --seeds 200
+
+echo "All tests, benches, soak, and trace validation passed; JSON evidence under bench_results/."

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/netckpt.h"
+#include "fault/fault.h"
 #include "net/tcp.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
@@ -68,12 +69,29 @@ net::SockAddr Agent::addr() const {
 
 template <typename Fn>
 void Agent::after(sim::Time delay, Fn&& fn) {
+  if (fault::injector().enabled()) {
+    double m = fault::injector().local_cost_multiplier(node_.name());
+    if (m != 1.0) {
+      delay = static_cast<sim::Time>(static_cast<double>(delay) * m);
+    }
+  }
   node_.engine().schedule(
       delay,
-      [alive = std::weak_ptr<bool>(alive_),
+      [this, alive = std::weak_ptr<bool>(alive_),
        f = std::forward<Fn>(fn)]() mutable {
-        if (auto a = alive.lock(); a && *a) f();
+        if (auto a = alive.lock(); !a || !*a) return;
+        if (crashed_) return;  // a crashed agent runs nothing further
+        f();
       });
+}
+
+bool Agent::fault_crashed(const char* phase) {
+  if (crashed_ || !fault::injector().enabled()) return false;
+  if (!fault::injector().crash_at_phase(node_.name(), phase)) return false;
+  crashed_ = true;
+  ZLOG_WARN("agent@" << node_.name() << ": injected crash at " << phase);
+  node_.fail();
+  return true;
 }
 
 void Agent::trace(const std::string& what) {
@@ -132,6 +150,7 @@ void Agent::on_accept(std::unique_ptr<MsgChannel> ch) {
 }
 
 void Agent::on_msg(Conn* conn, Bytes msg) {
+  if (crashed_) return;
   auto type = peek_type(msg);
   if (!type) return;
   switch (type.value()) {
@@ -198,6 +217,9 @@ void Agent::on_msg(Conn* conn, Bytes msg) {
       if (conn->ckpt && !conn->ckpt->finished) {
         ckpt_abort(conn->ckpt, "manager abort");
       }
+      if (conn->restart) {
+        restart_abort(conn->restart, "manager abort");
+      }
       break;
     }
     default:
@@ -212,6 +234,11 @@ void Agent::on_closed(Conn* conn) {
   // the application will resume its execution."
   if (conn->ckpt && !conn->ckpt->finished) {
     ckpt_abort(conn->ckpt, "manager connection lost");
+  }
+  // A finished restore is left alone on channel close (the normal end of
+  // a successful op); an unfinished one means the Manager died mid-op.
+  if (conn->restart && !conn->restart->finished) {
+    restart_abort(conn->restart, "manager connection lost");
   }
   conn->dead = true;
   after(0, [this] { reap_conns(); });
@@ -229,6 +256,7 @@ void Agent::ckpt_begin(Conn* conn, CheckpointCmd cmd) {
   op->mgr = conn->ch.get();
   op->t_start = node_.now();
   conn->ckpt = op;
+  if (fault_crashed("ckpt.begin")) return;
 
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) {
@@ -302,6 +330,7 @@ void Agent::capture_standalone(const std::shared_ptr<CkptOp>& op,
 
 void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
   if (op->aborted) return;
+  if (fault_crashed("ckpt.standalone")) return;
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
@@ -335,6 +364,7 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
 
 void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
   if (op->aborted) return;
+  if (fault_crashed("ckpt.netckpt")) return;
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
@@ -377,6 +407,7 @@ void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
 
 void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
   if (op->aborted) return;
+  if (fault_crashed("ckpt.netckpt")) return;
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
@@ -428,6 +459,7 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
 
 void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
   if (op->aborted) return;
+  if (fault_crashed("ckpt.standalone")) return;
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
@@ -569,6 +601,17 @@ void Agent::ckpt_standalone_done(const std::shared_ptr<CkptOp>& op) {
   }
   if (!op->delivered) deliver_image(op);
   ckpt_maybe_finish(op);
+  // Barrier watchdog: a stalled Manager (or a peer agent holding up the
+  // barrier) must not leave this pod suspended forever.  The resulting
+  // CKPT_DONE is marked transient — the whole op is safe to retry.
+  if (!op->finished && !op->aborted && !op->continue_received &&
+      op->cmd.barrier_wait_us > 0) {
+    after(op->cmd.barrier_wait_us, [this, op] {
+      if (op->finished || op->aborted || op->continue_received) return;
+      ckpt_abort(op, "continue barrier deadline expired (manager stalled)",
+                 /*transient=*/true);
+    });
+  }
 }
 
 void Agent::ship_redirects(const std::shared_ptr<CkptOp>& op, MsgChannel* raw,
@@ -593,27 +636,32 @@ void Agent::ship_redirects(const std::shared_ptr<CkptOp>& op, MsgChannel* raw,
 }
 
 void Agent::deliver_image(const std::shared_ptr<CkptOp>& op) {
+  if (fault_crashed("ckpt.deliver")) return;
   auto uri = parse_uri(op->cmd.dest_uri);
   if (!uri) return ckpt_abort(op, uri.status().to_string());
 
   if (uri.value().scheme == "san") {
-    node_.san().write(uri.value().path, op->encoded_image);
-    if (op->cmd.mode == CkptMode::SNAPSHOT) {
-      // Commit the incremental chain state only once the image is safely
-      // on the SAN; the next incremental checkpoint diffs against it.
-      IncrState& st = incr_[op->cmd.pod_name];
-      if (op->is_delta) {
-        st.chain_len += 1;
-        st.delta_seq = op->image.header.delta_seq;
-      } else {
-        st.chain_uris.clear();
-        st.chain_len = 0;
-        st.delta_seq = 0;
-      }
-      st.chain_uris.insert(uri.value().path);
-      st.last_uri = op->cmd.dest_uri;
-      st.base = ckpt::DeltaBaseline::from_images(op->image.processes);
-      st.valid = true;
+    // Two-phase commit: stage the image at `<path>.tmp` now; it only
+    // replaces the previous image via rename in ckpt_maybe_finish, after
+    // the continue barrier.  Until then an abort or crash leaves the
+    // last committed image untouched (at worst a .tmp for the GC), and
+    // the incremental chain state — updated at commit — stays in sync
+    // with what is actually on the SAN.
+    op->san_tmp = uri.value().path + ".tmp";
+    op->san_final = uri.value().path;
+    Status wst = node_.san().write(op->san_tmp, op->encoded_image);
+    if (!wst) {
+      op->san_tmp.clear();
+      return ckpt_abort(op, "image write failed: " + wst.message(),
+                        /*transient=*/true);
+    }
+    // Read-back size verification catches short/torn writes pre-commit.
+    auto back = node_.san().read(op->san_tmp);
+    if (!back || back.value().size() != op->encoded_image.size()) {
+      (void)node_.san().remove(op->san_tmp);
+      op->san_tmp.clear();
+      return ckpt_abort(op, "image verification failed (torn write)",
+                        /*transient=*/true);
     }
     return;
   }
@@ -650,6 +698,37 @@ void Agent::ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op) {
   // Steps 3a/4a: finish only after the standalone checkpoint completed
   // AND the Manager's continue arrived (the single synchronization).
   if (!op->standalone_done || !op->continue_received) return;
+  if (fault_crashed("ckpt.barrier")) return;
+
+  // Commit point: the staged image atomically replaces the previous one
+  // only now, past the barrier.  Only a committed image advances the
+  // incremental chain — an aborted delta must not become the next base.
+  if (!op->san_tmp.empty()) {
+    Status cst = node_.san().rename(op->san_tmp, op->san_final);
+    if (!cst) {
+      return ckpt_abort(op, "image commit failed: " + cst.message(),
+                        /*transient=*/true);
+    }
+    op->san_tmp.clear();
+    obs::metrics().counter("ckpt.commit.committed").inc();
+    if (op->cmd.mode == CkptMode::SNAPSHOT) {
+      IncrState& ist = incr_[op->cmd.pod_name];
+      if (op->is_delta) {
+        ist.chain_len += 1;
+        ist.delta_seq = op->image.header.delta_seq;
+      } else {
+        ist.chain_uris.clear();
+        ist.chain_len = 0;
+        ist.delta_seq = 0;
+      }
+      ist.chain_uris.insert(op->san_final);
+      ist.last_uri = op->cmd.dest_uri;
+      ist.base = ckpt::DeltaBaseline::from_images(op->image.processes);
+      ist.valid = true;
+    }
+    trace_op("3b: image committed to " + op->san_final, op->cmd.op_id,
+             op->span_barrier);
+  }
   op->finished = true;
 
   obs::metrics()
@@ -713,10 +792,17 @@ void Agent::ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op) {
 }
 
 void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
-                       const std::string& why) {
+                       const std::string& why, bool transient) {
   if (op->finished || op->aborted) return;
   op->aborted = true;
   op->finished = true;
+  // GC the staged half of a never-committed two-phase write.
+  if (!op->san_tmp.empty()) {
+    if (node_.san().remove(op->san_tmp).is_ok()) {
+      obs::metrics().counter("ckpt.commit.gc_tmp").inc();
+    }
+    op->san_tmp.clear();
+  }
   ZLOG_WARN("agent@" << node_.name() << ": checkpoint of "
                      << op->cmd.pod_name << " aborted: " << why);
   // Flight-recorder dump before the spans close: the postmortem's
@@ -746,6 +832,7 @@ void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
     done.pod_name = op->cmd.pod_name;
     done.ok = false;
     done.error = why;
+    done.transient = transient;
     (void)op->mgr->send(encode_ckpt_done(done));
   }
 }
@@ -758,6 +845,7 @@ void Agent::restart_begin(Conn* conn, RestartCmd cmd) {
   op->mgr = conn->ch.get();
   op->t_start = node_.now();
   conn->restart = op;
+  if (fault_crashed("restart.begin")) return;
   if (obs::SpanRecorder* r = rec()) {
     op->span_root = r->begin_at(op->t_start, "restart", who(),
                                 op->cmd.parent_span, op->cmd.op_id);
@@ -785,6 +873,17 @@ void Agent::restart_begin(Conn* conn, RestartCmd cmd) {
     } else {
       // The checkpoint stream is still arriving; resume when complete.
       waiting_restarts_[uri.value().path] = op;
+      if (op->cmd.stream_wait_us > 0) {
+        after(op->cmd.stream_wait_us, [this, op, stag = uri.value().path] {
+          auto wit = waiting_restarts_.find(stag);
+          if (wit == waiting_restarts_.end() || wit->second != op) return;
+          if (op->finished) return;
+          waiting_restarts_.erase(wit);
+          restart_finish(op, Status(Err::TIMED_OUT,
+                                    "checkpoint stream " + stag +
+                                        " not delivered within deadline"));
+        });
+      }
     }
     return;
   }
@@ -793,6 +892,8 @@ void Agent::restart_begin(Conn* conn, RestartCmd cmd) {
 
 void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
                                Bytes image_bytes) {
+  if (op->finished) return;
+  if (fault_crashed("restart.connectivity")) return;
   auto image = ckpt::decode_image(image_bytes);
   if (!image) return restart_finish(op, image.status());
   op->image = std::move(image).value();
@@ -870,6 +971,7 @@ void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
 
 void Agent::restart_connectivity_done(const std::shared_ptr<RestartOp>& op,
                                       Status st, ckpt::SockMap map) {
+  if (op->finished) return;
   if (!st) return restart_finish(op, st);
   op->socks = std::move(map);
   op->t_conn_done = node_.now();
@@ -886,6 +988,7 @@ void Agent::restart_connectivity_done(const std::shared_ptr<RestartOp>& op,
 
 void Agent::restart_wait_redirects(const std::shared_ptr<RestartOp>& op,
                                    sim::Time waited) {
+  if (op->finished) return;
   // Migration redirect: every connection tagged redirect_expected must
   // have its (possibly empty) peer send-queue record before the socket
   // state is restored, or restored data would be misordered.
@@ -920,6 +1023,8 @@ void Agent::restart_wait_redirects(const std::shared_ptr<RestartOp>& op,
 }
 
 void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
+  if (op->finished) return;
+  if (fault_crashed("restart.netstate")) return;
   if (obs::SpanRecorder* r = rec()) {
     op->span_netstate = r->begin_at(node_.now(), "restart.netstate", who(),
                                     op->span_root, op->cmd.op_id);
@@ -969,6 +1074,7 @@ void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
   sim::Time cost =
       costs_.net_restore_cost(op->image.sockets.size(), restored_bytes);
   after(cost, [this, op, cost] {
+    if (op->finished) return;
     op->t_net_done = node_.now();
     obs::metrics().histogram("agent.restart.netstate_us").observe(cost);
     if (obs::SpanRecorder* r = rec()) {
@@ -981,6 +1087,8 @@ void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
 }
 
 void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
+  if (op->finished) return;
+  if (fault_crashed("restart.standalone")) return;
   if (obs::SpanRecorder* r = rec()) {
     op->span_standalone =
         r->begin_at(node_.now(), "restart.standalone", who(), op->span_root,
@@ -999,6 +1107,7 @@ void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
   sim::Time cost = costs_.standalone_restart_cost(
       image_bytes, op->image.processes.size());
   after(cost, [this, op, cost] {
+    if (op->finished || op->pod == nullptr) return;
     obs::metrics().histogram("agent.restart.standalone_us").observe(cost);
     trace_op("4: standalone restart done for " + op->cmd.pod_name,
              op->cmd.op_id, op->span_root);
@@ -1024,6 +1133,9 @@ void Agent::restart_finish(const std::shared_ptr<RestartOp>& op, Status st) {
   done.pod_name = op->cmd.pod_name;
   done.ok = st.is_ok();
   done.error = st.message();
+  // Timeouts (stream never arrived, redirects missing) are worth a
+  // whole-op retry; decode/protocol errors are not.
+  done.transient = !st.is_ok() && st.err() == Err::TIMED_OUT;
   done.total_us = node_.now() - op->t_start;
   done.connectivity_us =
       op->t_conn_done > op->t_start ? op->t_conn_done - op->t_start : 0;
@@ -1033,6 +1145,44 @@ void Agent::restart_finish(const std::shared_ptr<RestartOp>& op, Status st) {
                (st.is_ok() ? " done" : " FAILED: " + st.to_string()),
            op->cmd.op_id, op->span_root);
   if (op->mgr != nullptr) (void)op->mgr->send(encode_restart_done(done));
+}
+
+void Agent::restart_abort(const std::shared_ptr<RestartOp>& op,
+                          const std::string& why) {
+  // Runs on live AND already-finished restores: a Manager abort means
+  // the coordinated restart failed as a whole, so even a pod this agent
+  // restored successfully must be torn down.
+  if (!op->finished) {
+    op->finished = true;
+    ZLOG_WARN("agent@" << node_.name() << ": restart of " << op->cmd.pod_name
+                       << " aborted: " << why);
+    obs::dump_op_failure(rec(), "restart_abort", op->cmd.op_id, who(), why,
+                         node_.now());
+    if (obs::SpanRecorder* r = rec()) {
+      r->end_at(node_.now(), op->span_connectivity);
+      r->end_at(node_.now(), op->span_netstate);
+      r->end_at(node_.now(), op->span_standalone);
+      r->end_at(node_.now(), op->span_root);
+    }
+    trace_op("abort: " + why, op->cmd.op_id, op->span_root);
+  }
+  // Drop a parked stream wait belonging to this op.
+  for (auto it = waiting_restarts_.begin(); it != waiting_restarts_.end();) {
+    if (it->second == op) {
+      it = waiting_restarts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (op->pod != nullptr) {
+    op->connectivity.reset();  // holds references into the pod
+    if (find_pod(op->cmd.pod_name) == op->pod) {
+      (void)destroy_pod(op->cmd.pod_name);
+      trace_op("abort: pod " + op->cmd.pod_name + " torn down",
+               op->cmd.op_id, op->span_root);
+    }
+    op->pod = nullptr;
+  }
 }
 
 }  // namespace zapc::core

@@ -80,6 +80,11 @@ class Agent {
     bool is_delta = false;   // this image is a delta over the prior one
     u64 logical_bytes = 0;   // full pre-codec state size (all regions)
     bool delivered = false;  // image already shipped (pipelined stream)
+    // Two-phase SAN commit: the image is staged at `san_tmp` during the
+    // standalone phase and renamed to `san_final` only after the
+    // continue barrier, so an abort never clobbers the last good image.
+    std::string san_tmp;
+    std::string san_final;
     // Id of the Manager's 'mgr.continue' EVENT (from the CONTINUE
     // message): the cross-node parent of this agent's resume records.
     obs::SpanId continue_event = 0;
@@ -130,8 +135,10 @@ class Agent {
   void ckpt_network_post(const std::shared_ptr<CkptOp>& op);
   void ckpt_standalone_done(const std::shared_ptr<CkptOp>& op);
   void ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op);
-  void ckpt_abort(const std::shared_ptr<CkptOp>& op,
-                  const std::string& why);
+  /// `transient` marks failures the Manager may safely retry (storage
+  /// hiccup, barrier watchdog) in the CKPT_DONE report.
+  void ckpt_abort(const std::shared_ptr<CkptOp>& op, const std::string& why,
+                  bool transient = false);
   void deliver_image(const std::shared_ptr<CkptOp>& op);
   /// Captures header + processes into op->image, deciding full vs delta
   /// from the command and this agent's per-pod incremental state.
@@ -157,6 +164,17 @@ class Agent {
   void restart_net_state(const std::shared_ptr<RestartOp>& op);
   void restart_standalone(const std::shared_ptr<RestartOp>& op);
   void restart_finish(const std::shared_ptr<RestartOp>& op, Status st);
+  /// Manager-initiated teardown: a failed *coordinated* restart means
+  /// even a pod this agent restored successfully must be destroyed
+  /// (mirror of the checkpoint abort).
+  void restart_abort(const std::shared_ptr<RestartOp>& op,
+                     const std::string& why);
+
+  /// Consults the fault injector for a crash-at-phase fault.  On a hit
+  /// the agent "dies": the node detaches from the fabric and every
+  /// pending callback of this agent is dropped.  Returns true if the
+  /// caller should stop immediately.
+  bool fault_crashed(const char* phase);
 
   void trace(const std::string& what);
   /// Causally-tagged trace event for a coordinated op this agent serves.
@@ -176,6 +194,7 @@ class Agent {
   CostModel costs_;
   Trace* trace_;
   CkptOrdering ordering_ = CkptOrdering::NETWORK_FIRST;
+  bool crashed_ = false;  // injected crash: this agent runs nothing more
   std::unique_ptr<MsgServer> server_;
   std::list<Conn> conns_;
 

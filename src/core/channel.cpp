@@ -1,5 +1,6 @@
 #include "core/channel.h"
 
+#include "fault/fault.h"
 #include "net/tcp.h"
 #include "util/log.h"
 #include "util/serialize.h"
@@ -83,19 +84,24 @@ void MsgChannel::pump() {
     auto r = stack_.sys_recv(sock_, 64 * 1024, 0);
     if (!r.is_ok()) {
       if (r.err() == Err::WOULD_BLOCK) break;
-      mark_closed();
-      return;
+      eof_pending_ = true;  // deliver buffered frames, then close
+      break;
     }
     if (r.value().eof) {
-      mark_closed();
-      return;
+      // A peer may send a final message (e.g. ABORT) and close in the
+      // same instant; the data segment and the FIN then become readable
+      // together.  Parse and deliver what arrived before honouring the
+      // close, or the last message would be silently dropped.
+      eof_pending_ = true;
+      break;
     }
     append_bytes(rx_, r.value().data);
   }
 
-  // Deliver complete frames.  A handler may close — or even destroy —
-  // this channel; the liveness token detects that.
-  std::weak_ptr<bool> alive(alive_);
+  // Extract complete frames into the delivery queue.  Each frame is
+  // judged by the fault injector exactly once, here: a dropped frame is
+  // never queued, a duplicated one is queued twice, and a stall holds
+  // the whole channel's delivery (a hung peer) without blocking receipt.
   std::size_t off = 0;
   while (rx_.size() - off >= 4) {
     Decoder d(rx_.data() + off, rx_.size() - off);
@@ -104,11 +110,45 @@ void MsgChannel::pump() {
     Bytes payload(rx_.begin() + static_cast<long>(off + 4),
                   rx_.begin() + static_cast<long>(off + 4 + len));
     off += 4 + len;
-    if (on_msg_) on_msg_(std::move(payload));
-    if (auto a = alive.lock(); !a || !*a) return;  // destroyed by handler
-    if (closed_) return;
+    if (fault::injector().enabled() && !payload.empty()) {
+      auto v = fault::injector().on_channel_msg(payload[0]);
+      if (v.stall_us > 0) {
+        stall_until_ = stack_.engine().now() + v.stall_us;
+      }
+      if (v.drop) continue;
+      if (v.duplicate) rx_frames_.push_back(payload);
+    }
+    rx_frames_.push_back(std::move(payload));
   }
   if (off > 0) rx_.erase(rx_.begin(), rx_.begin() + static_cast<long>(off));
+  deliver();  // closes the channel itself once eof_pending_ drains
+}
+
+void MsgChannel::deliver() {
+  // A handler may close — or even destroy — this channel; the liveness
+  // token detects that.
+  std::weak_ptr<bool> alive(alive_);
+  while (!rx_frames_.empty()) {
+    if (closed_) return;
+    u64 now = stack_.engine().now();
+    if (now < stall_until_) {
+      stack_.engine().schedule(stall_until_ - now, [alive, this] {
+        if (auto a = alive.lock(); a && *a) deliver();
+      });
+      return;
+    }
+    Bytes payload = std::move(rx_frames_.front());
+    rx_frames_.pop_front();
+    if (on_msg_) on_msg_(std::move(payload));
+    if (auto a = alive.lock(); !a || !*a) return;  // destroyed by handler
+  }
+  if (eof_pending_ && !closed_) mark_closed();
+}
+
+bool MsgChannel::established() {
+  if (closed_) return false;
+  net::TcpSocket* t = stack_.find_tcp(sock_);
+  return t != nullptr && t->state() == net::TcpState::ESTABLISHED;
 }
 
 void MsgChannel::mark_closed() {

@@ -37,6 +37,9 @@ class MsgChannel {
 
   void close();
   bool open() const { return !closed_; }
+  /// Whether the underlying TCP connection has completed its handshake
+  /// (used by the Manager's connect-phase deadline).
+  bool established();
   net::SockId sock() const { return sock_; }
 
   /// Total payload bytes sent (for transfer accounting in benches).
@@ -46,16 +49,20 @@ class MsgChannel {
   void arm();
   void on_event();
   void pump();
+  void deliver();
   void flush();
   void mark_closed();
 
   net::Stack& stack_;
   net::SockId sock_;
   Bytes rx_;
+  std::deque<Bytes> rx_frames_;  // complete frames awaiting delivery
+  u64 stall_until_ = 0;          // injected channel stall (virtual µs)
   std::deque<u8> tx_;
   MsgFn on_msg_;
   ClosedFn on_closed_;
   bool closed_ = false;
+  bool eof_pending_ = false;  // peer closed; close once rx_frames_ drains
   bool event_scheduled_ = false;
   u64 bytes_sent_ = 0;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

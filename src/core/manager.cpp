@@ -9,7 +9,16 @@
 namespace zapc::core {
 
 Manager::Manager(os::Node& node, Trace* trace)
-    : node_(node), trace_(trace) {}
+    : node_(node), trace_(trace) {
+  // Touch the failure-handling counters up front so metric exports (bench
+  // JSON, postmortems) always carry them, even at zero.
+  obs::metrics().counter("mgr.ckpt.retries");
+  obs::metrics().counter("mgr.restart.retries");
+  obs::metrics().counter("mgr.phase.deadline_expired");
+  obs::metrics().counter("ckpt.commit.committed");
+  obs::metrics().counter("ckpt.commit.gc_tmp");
+  obs::metrics().counter("fault.injected");
+}
 
 Manager::~Manager() { *alive_ = false; }
 
@@ -24,6 +33,13 @@ void Manager::trace_op(const std::string& what, obs::OpId op,
   }
 }
 
+sim::Time Manager::retry_delay(const RetryPolicy& p, u32 attempt) {
+  double d = static_cast<double>(p.backoff_us);
+  for (u32 i = 1; i < attempt; ++i) d *= p.backoff_factor;
+  d *= 1.0 + p.jitter * (2.0 * retry_rng_.uniform() - 1.0);
+  return d < 1.0 ? 1 : static_cast<sim::Time>(d);
+}
+
 // ---- Checkpoint -----------------------------------------------------------------
 
 void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
@@ -34,9 +50,20 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
     done(std::move(r));
     return;
   }
+  ckpt_begin_attempt(std::move(targets), mode, std::move(opts),
+                     std::move(done), 1);
+}
+
+void Manager::ckpt_begin_attempt(std::vector<Target> targets, CkptMode mode,
+                                 CkptOptions opts, CheckpointDoneFn done,
+                                 u32 attempt) {
   op_ = std::make_unique<CkptState>();
+  op_->targets = std::move(targets);
+  op_->opts = std::move(opts);
   op_->mode = mode;
-  op_->redirect = opts.redirect_send_queues && mode == CkptMode::MIGRATE;
+  op_->redirect =
+      op_->opts.redirect_send_queues && mode == CkptMode::MIGRATE;
+  op_->attempt = attempt;
   op_->t_start = node_.now();
   op_->done_fn = std::move(done);
   op_->op_id = obs::next_op_id();
@@ -47,7 +74,10 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
     op_->span_meta_wait = r->begin_at(op_->t_start, "mgr.ckpt.meta_wait",
                                       "manager", op_->span_root, op_->op_id);
   }
+  ckpt_start();
+}
 
+void Manager::ckpt_start() {
   // For the redirect optimization, every agent needs to know which agent
   // receives each peer pod's checkpoint stream: (vip -> endpoint) pairs
   // derived from targets with agent:// URIs.  The vip comes from the
@@ -58,7 +88,7 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
   std::vector<std::pair<net::IpAddr, net::SockAddr>> peer_agents;
   last_redirect_covered_.clear();
   if (op_->redirect) {
-    for (const Target& t : targets) {
+    for (const Target& t : op_->targets) {
       net::IpAddr vip = t.vip;
       if (vip.is_any()) {
         auto it = last_metas_.find(t.pod_name);
@@ -83,11 +113,11 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
     }
   }
 
-  trace_op("1: send 'checkpoint' to " + std::to_string(targets.size()) +
-               " agents",
+  trace_op("1: send 'checkpoint' to " +
+               std::to_string(op_->targets.size()) + " agents",
            op_->op_id, op_->span_root);
-  op_->peers.reserve(targets.size());
-  for (auto& t : targets) {
+  op_->peers.reserve(op_->targets.size());
+  for (const Target& t : op_->targets) {
     CkptPeer peer;
     peer.target = t;
     peer.ch = connect_channel(node_.host_stack(), t.agent);
@@ -96,7 +126,8 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
   for (std::size_t i = 0; i < op_->peers.size(); ++i) {
     CkptPeer& peer = op_->peers[i];
     if (peer.ch == nullptr) {
-      ckpt_fail("cannot connect to agent " + peer.target.agent.to_string());
+      ckpt_fail("cannot connect to agent " + peer.target.agent.to_string(),
+                /*transient=*/true);
       return;
     }
     peer.ch->set_on_msg(
@@ -112,15 +143,42 @@ void Manager::checkpoint(std::vector<Target> targets, CkptMode mode,
     cmd.parent_span = op_->span_root;
     cmd.pod_name = peer.target.pod_name;
     cmd.dest_uri = peer.target.uri;
-    cmd.mode = mode;
-    cmd.redirect_send_queues = opts.redirect_send_queues;
-    cmd.fs_snapshot = opts.fs_snapshot;
+    cmd.mode = op_->mode;
+    cmd.redirect_send_queues = op_->opts.redirect_send_queues;
+    cmd.fs_snapshot = op_->opts.fs_snapshot;
     cmd.peer_agents = peer_agents;
-    cmd.incremental = opts.incremental;
-    cmd.chain_cap = opts.chain_cap;
-    cmd.codec_flags = opts.codec_flags;
-    cmd.pipelined = opts.pipelined_stream;
+    cmd.incremental = op_->opts.incremental;
+    cmd.chain_cap = op_->opts.chain_cap;
+    cmd.codec_flags = op_->opts.codec_flags;
+    cmd.pipelined = op_->opts.pipelined_stream;
+    cmd.barrier_wait_us = op_->opts.deadlines.agent_barrier_us;
     (void)peer.ch->send(encode_checkpoint_cmd(cmd));
+  }
+
+  // Arm the phase watchdogs.  Both run from invocation; the connect
+  // deadline only looks at channel establishment, the meta deadline at
+  // META_REPORT arrival.  An expiry with nothing actually stalled (the
+  // phase completed but the cancel raced the event) is a no-op.
+  const Deadlines& dl = op_->opts.deadlines;
+  if (dl.connect_us > 0) {
+    op_->connect_deadline = node_.engine().schedule(
+        dl.connect_us,
+        [this, alive = std::weak_ptr<bool>(alive_), id = op_->op_id] {
+          if (auto a = alive.lock(); !a || !*a) return;
+          if (op_ == nullptr || op_->op_id != id) return;
+          op_->connect_deadline = 0;
+          ckpt_deadline_expired("connect");
+        });
+  }
+  if (dl.meta_us > 0) {
+    op_->phase_deadline = node_.engine().schedule(
+        dl.meta_us,
+        [this, alive = std::weak_ptr<bool>(alive_), id = op_->op_id] {
+          if (auto a = alive.lock(); !a || !*a) return;
+          if (op_ == nullptr || op_->op_id != id) return;
+          op_->phase_deadline = 0;
+          ckpt_deadline_expired("meta_wait");
+        });
   }
 }
 
@@ -133,7 +191,7 @@ void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
   switch (type.value()) {
     case MsgType::META_REPORT: {
       auto m = decode_meta_report(msg);
-      if (!m) return ckpt_fail("bad meta report");
+      if (!m) return ckpt_fail("bad meta report", /*transient=*/false);
       peer.meta_received = true;
       op_->report.metas[m.value().pod_name] = m.value().meta;
       op_->report.max_net_ckpt_us =
@@ -145,12 +203,13 @@ void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
     }
     case MsgType::CKPT_DONE: {
       auto m = decode_ckpt_done(msg);
-      if (!m) return ckpt_fail("bad done report");
+      if (!m) return ckpt_fail("bad done report", /*transient=*/false);
       peer.done_received = true;
       peer.done = m.value();
       if (!m.value().ok) {
         return ckpt_fail("agent reported failure for " +
-                         m.value().pod_name + ": " + m.value().error);
+                             m.value().pod_name + ": " + m.value().error,
+                         m.value().transient);
       }
       trace_op("4: 'done' received from " + peer.target.pod_name,
                op_->op_id, op_->span_done_wait);
@@ -165,7 +224,8 @@ void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
 void Manager::ckpt_on_closed(std::size_t idx) {
   if (op_ == nullptr || op_->finished) return;
   ckpt_fail("lost connection to agent of pod " +
-            op_->peers[idx].target.pod_name);
+                op_->peers[idx].target.pod_name,
+            /*transient=*/true);
 }
 
 void Manager::ckpt_maybe_continue() {
@@ -176,6 +236,7 @@ void Manager::ckpt_maybe_continue() {
   // The single synchronization point (paper §4, Figure 2 "sync").
   op_->continued = true;
   op_->t_sync = node_.now();
+  ckpt_cancel_deadlines();  // connect + meta phases are over
   ContinueMsg cont;
   cont.op_id = op_->op_id;
   if (obs::SpanRecorder* r = rec()) {
@@ -192,6 +253,16 @@ void Manager::ckpt_maybe_continue() {
   for (CkptPeer& p : op_->peers) {
     (void)p.ch->send(encode_continue(cont));
   }
+  if (op_->opts.deadlines.done_us > 0) {
+    op_->phase_deadline = node_.engine().schedule(
+        op_->opts.deadlines.done_us,
+        [this, alive = std::weak_ptr<bool>(alive_), id = op_->op_id] {
+          if (auto a = alive.lock(); !a || !*a) return;
+          if (op_ == nullptr || op_->op_id != id) return;
+          op_->phase_deadline = 0;
+          ckpt_deadline_expired("done_wait");
+        });
+  }
 }
 
 void Manager::ckpt_maybe_finish() {
@@ -199,9 +270,11 @@ void Manager::ckpt_maybe_finish() {
     if (!p.done_received) return;
   }
   op_->finished = true;
+  ckpt_cancel_deadlines();
   CheckpointReport report = std::move(op_->report);
   report.ok = true;
   report.op_id = op_->op_id;
+  report.attempts = op_->attempt;
   report.total_us = node_.now() - op_->t_start;
   report.sync_us = op_->t_sync - op_->t_start;
   for (const CkptPeer& p : op_->peers) {
@@ -227,9 +300,58 @@ void Manager::ckpt_maybe_finish() {
   fn(std::move(report));
 }
 
-void Manager::ckpt_fail(const std::string& why) {
+void Manager::ckpt_cancel_deadlines() {
+  if (op_ == nullptr) return;
+  if (op_->connect_deadline != 0) {
+    (void)node_.engine().cancel(op_->connect_deadline);
+    op_->connect_deadline = 0;
+  }
+  if (op_->phase_deadline != 0) {
+    (void)node_.engine().cancel(op_->phase_deadline);
+    op_->phase_deadline = 0;
+  }
+}
+
+void Manager::ckpt_deadline_expired(const std::string& phase) {
+  if (op_ == nullptr || op_->finished) return;
+  std::string stalled;
+  for (const CkptPeer& p : op_->peers) {
+    bool waiting;
+    if (phase == "connect") {
+      waiting = p.ch == nullptr || !p.ch->established();
+    } else if (phase == "meta_wait") {
+      waiting = !p.meta_received;
+    } else {
+      waiting = !p.done_received;
+    }
+    if (!waiting) continue;
+    if (!stalled.empty()) stalled += ",";
+    stalled += p.target.pod_name + "@" + p.target.agent.to_string();
+  }
+  if (stalled.empty()) return;
+  obs::metrics().counter("mgr.phase.deadline_expired").inc();
+  ckpt_fail("phase deadline expired: phase=" + phase + " stalled=" + stalled,
+            /*transient=*/true);
+}
+
+void Manager::ckpt_gc_tmp() {
+  // The commit protocol stages every SAN image at `<path>.tmp` and only
+  // renames it into place after the continue barrier, so after an abort
+  // the temp — if the agent got that far — is the only debris.
+  for (const CkptPeer& p : op_->peers) {
+    if (p.target.uri.rfind("san://", 0) != 0) continue;
+    std::string tmp = p.target.uri.substr(6) + ".tmp";
+    if (node_.san().remove(tmp).is_ok()) {
+      obs::metrics().counter("ckpt.commit.gc_tmp").inc();
+      trace_op("gc half-written image " + tmp, op_->op_id, op_->span_root);
+    }
+  }
+}
+
+void Manager::ckpt_fail(const std::string& why, bool transient) {
   if (op_ == nullptr || op_->finished) return;
   op_->finished = true;
+  ckpt_cancel_deadlines();
   ZLOG_WARN("manager: checkpoint failed: " << why);
   obs::dump_op_failure(rec(), "ckpt_fail", op_->op_id, "manager", why,
                        node_.now());
@@ -245,10 +367,47 @@ void Manager::ckpt_fail(const std::string& why) {
       (void)p.ch->send(encode_abort(AbortMsg{op_->op_id, why}));
     }
   }
+  ckpt_gc_tmp();
+
+  // Retry transient failures while the op is still safe to re-run from
+  // scratch: a SNAPSHOT abort resumes every pod in place, but a MIGRATE
+  // is only repeatable before the sync point (after it, agents may
+  // already have destroyed source pods at commit).
+  bool retryable = transient &&
+                   op_->attempt <= op_->opts.retry.max_retries &&
+                   (op_->mode == CkptMode::SNAPSHOT || !op_->continued);
+  if (retryable) {
+    u32 next = op_->attempt + 1;
+    sim::Time delay = retry_delay(op_->opts.retry, op_->attempt);
+    obs::metrics().counter("mgr.ckpt.retries").inc();
+    trace("retrying checkpoint in " + std::to_string(delay) +
+          "us (attempt " + std::to_string(next) + ")");
+    node_.engine().schedule(
+        delay,
+        [this, alive = std::weak_ptr<bool>(alive_),
+         targets = std::move(op_->targets), mode = op_->mode,
+         opts = std::move(op_->opts), fn = std::move(op_->done_fn),
+         next]() mutable {
+          if (auto a = alive.lock(); !a || !*a) return;
+          if (op_ != nullptr) {
+            CheckpointReport r;
+            r.error = "manager busy at checkpoint retry";
+            r.attempts = next;
+            fn(std::move(r));
+            return;
+          }
+          ckpt_begin_attempt(std::move(targets), mode, std::move(opts),
+                             std::move(fn), next);
+        });
+    op_.reset();
+    return;
+  }
+
   CheckpointReport report;
   report.ok = false;
   report.error = why;
   report.op_id = op_->op_id;
+  report.attempts = op_->attempt;
   CheckpointDoneFn fn = std::move(op_->done_fn);
   op_.reset();
   fn(std::move(report));
@@ -275,8 +434,8 @@ void Manager::migrate(std::vector<MigrateTarget> targets, MigrateDoneFn done,
   auto done_ptr = std::make_shared<MigrateDoneFn>(std::move(done));
   checkpoint(
       std::move(ckpt_targets), CkptMode::MIGRATE,
-      [this, restart_targets = std::move(restart_targets), done_ptr,
-       t0](CheckpointReport cr) {
+      [this, restart_targets = std::move(restart_targets), done_ptr, t0,
+       opts](CheckpointReport cr) {
         if (!cr.ok) {
           MigrateReport r;
           r.error = "checkpoint: " + cr.error;
@@ -293,19 +452,21 @@ void Manager::migrate(std::vector<MigrateTarget> targets, MigrateDoneFn done,
                   r.restart = std::move(rr);
                   r.total_us = node_.now() - t0;
                   (*done_ptr)(std::move(r));
-                });
+                },
+                RestartOptions{opts.deadlines, opts.retry});
       },
       CkptOptions{/*redirect_send_queues=*/true, /*fs_snapshot=*/false,
                   /*incremental=*/false, /*chain_cap=*/8,
                   /*codec_flags=*/opts.codec_flags,
-                  /*pipelined_stream=*/opts.pipelined_stream});
+                  /*pipelined_stream=*/opts.pipelined_stream,
+                  /*deadlines=*/opts.deadlines, /*retry=*/opts.retry});
 }
 
 // ---- Restart ---------------------------------------------------------------------
 
 void Manager::restart(std::vector<Target> targets,
                       std::map<std::string, ckpt::NetMeta> metas,
-                      RestartDoneFn done) {
+                      RestartDoneFn done, RestartOptions opts) {
   if (rop_ != nullptr) {
     RestartReport r;
     r.error = "manager busy";
@@ -314,7 +475,8 @@ void Manager::restart(std::vector<Target> targets,
   }
   if (metas.empty()) metas = last_metas_;
 
-  // Derive the restart schedule from the meta-data tables.
+  // Derive the restart schedule from the meta-data tables.  Failures
+  // here are configuration errors, never retried.
   std::vector<ckpt::NetMeta> meta_list;
   for (auto& t : targets) {
     auto it = metas.find(t.pod_name);
@@ -354,11 +516,27 @@ void Manager::restart(std::vector<Target> targets,
   // New placement: each pod's virtual address now resolves to the real
   // address of the agent restarting it.
   std::vector<std::pair<net::IpAddr, net::IpAddr>> locations;
+  std::vector<ckpt::NetMeta> peer_metas;
   for (std::size_t i = 0; i < targets.size(); ++i) {
     locations.emplace_back(meta_list[i].pod_vip, targets[i].agent.ip);
+    peer_metas.push_back(plan.value().pod_meta[meta_list[i].pod_vip]);
   }
 
+  restart_begin_attempt(std::move(targets), std::move(peer_metas),
+                        std::move(locations), std::move(opts),
+                        std::move(done), 1);
+}
+
+void Manager::restart_begin_attempt(
+    std::vector<Target> targets, std::vector<ckpt::NetMeta> peer_metas,
+    std::vector<std::pair<net::IpAddr, net::IpAddr>> locations,
+    RestartOptions opts, RestartDoneFn done, u32 attempt) {
   rop_ = std::make_unique<RestartState>();
+  rop_->targets = std::move(targets);
+  rop_->peer_metas = std::move(peer_metas);
+  rop_->locations = std::move(locations);
+  rop_->opts = std::move(opts);
+  rop_->attempt = attempt;
   rop_->t_start = node_.now();
   rop_->done_fn = std::move(done);
   rop_->op_id = obs::next_op_id();
@@ -369,14 +547,14 @@ void Manager::restart(std::vector<Target> targets,
     // The restart schedule: record each connection's discard/redirect
     // decision so the offline analyzer can check recv >= acked on the
     // restored pairs without the images.
-    for (const auto& [vip, meta] : plan.value().pod_meta) {
+    for (const ckpt::NetMeta& meta : rop_->peer_metas) {
       for (const auto& e : meta.entries) {
         if (e.state != ckpt::ConnState::FULL_DUPLEX &&
             e.state != ckpt::ConnState::HALF_DUPLEX) {
           continue;
         }
         r->event_at(rop_->t_start, "manager",
-                    "sched.conn vip=" + vip.to_string() + " peer=" +
+                    "sched.conn vip=" + meta.pod_vip.to_string() + " peer=" +
                         e.target.ip.to_string() +
                         " discard=" + std::to_string(e.discard_send) +
                         (e.redirect_expected ? " redirect" : ""),
@@ -384,21 +562,25 @@ void Manager::restart(std::vector<Target> targets,
       }
     }
   }
+  restart_start();
+}
 
+void Manager::restart_start() {
   trace_op("1: send 'restart' + meta-data to " +
-               std::to_string(targets.size()) + " agents",
+               std::to_string(rop_->targets.size()) + " agents",
            rop_->op_id, rop_->span_root);
-  for (std::size_t i = 0; i < targets.size(); ++i) {
+  rop_->peers.reserve(rop_->targets.size());
+  for (const Target& t : rop_->targets) {
     RestartPeer peer;
-    peer.target = targets[i];
-    peer.ch = connect_channel(node_.host_stack(), targets[i].agent);
+    peer.target = t;
+    peer.ch = connect_channel(node_.host_stack(), t.agent);
     rop_->peers.push_back(std::move(peer));
   }
   for (std::size_t i = 0; i < rop_->peers.size(); ++i) {
     RestartPeer& peer = rop_->peers[i];
     if (peer.ch == nullptr) {
-      restart_fail("cannot connect to agent " +
-                   peer.target.agent.to_string());
+      restart_fail("cannot connect to agent " + peer.target.agent.to_string(),
+                   /*transient=*/true);
       return;
     }
     peer.ch->set_on_msg(
@@ -416,9 +598,32 @@ void Manager::restart(std::vector<Target> targets,
     cmd.parent_span = rop_->span_root;
     cmd.pod_name = peer.target.pod_name;
     cmd.source_uri = peer.target.uri;
-    cmd.meta = plan.value().pod_meta[meta_list[i].pod_vip];
-    cmd.locations = locations;
+    cmd.meta = rop_->peer_metas[i];
+    cmd.locations = rop_->locations;
+    cmd.stream_wait_us = rop_->opts.deadlines.agent_stream_us;
     (void)peer.ch->send(encode_restart_cmd(cmd));
+  }
+
+  const Deadlines& dl = rop_->opts.deadlines;
+  if (dl.connect_us > 0) {
+    rop_->connect_deadline = node_.engine().schedule(
+        dl.connect_us,
+        [this, alive = std::weak_ptr<bool>(alive_), id = rop_->op_id] {
+          if (auto a = alive.lock(); !a || !*a) return;
+          if (rop_ == nullptr || rop_->op_id != id) return;
+          rop_->connect_deadline = 0;
+          restart_deadline_expired("connect");
+        });
+  }
+  if (dl.restart_us > 0) {
+    rop_->phase_deadline = node_.engine().schedule(
+        dl.restart_us,
+        [this, alive = std::weak_ptr<bool>(alive_), id = rop_->op_id] {
+          if (auto a = alive.lock(); !a || !*a) return;
+          if (rop_ == nullptr || rop_->op_id != id) return;
+          rop_->phase_deadline = 0;
+          restart_deadline_expired("restart_wait");
+        });
   }
 }
 
@@ -427,13 +632,14 @@ void Manager::restart_on_msg(std::size_t idx, Bytes msg) {
   auto type = peek_type(msg);
   if (!type || type.value() != MsgType::RESTART_DONE) return;
   auto m = decode_restart_done(msg);
-  if (!m) return restart_fail("bad restart report");
+  if (!m) return restart_fail("bad restart report", /*transient=*/false);
   RestartPeer& peer = rop_->peers[idx];
   peer.done_received = true;
   peer.done = m.value();
   if (!m.value().ok) {
     return restart_fail("agent reported restart failure for " +
-                        m.value().pod_name + ": " + m.value().error);
+                            m.value().pod_name + ": " + m.value().error,
+                        m.value().transient);
   }
   trace_op("2: 'done' received from " + peer.target.pod_name, rop_->op_id,
            rop_->span_root);
@@ -443,7 +649,8 @@ void Manager::restart_on_msg(std::size_t idx, Bytes msg) {
 void Manager::restart_on_closed(std::size_t idx) {
   if (rop_ == nullptr || rop_->finished) return;
   restart_fail("lost connection to agent of pod " +
-               rop_->peers[idx].target.pod_name);
+                   rop_->peers[idx].target.pod_name,
+               /*transient=*/true);
 }
 
 void Manager::restart_maybe_finish() {
@@ -451,9 +658,11 @@ void Manager::restart_maybe_finish() {
     if (!p.done_received) return;
   }
   rop_->finished = true;
+  restart_cancel_deadlines();
   RestartReport report;
   report.ok = true;
   report.op_id = rop_->op_id;
+  report.attempts = rop_->attempt;
   report.total_us = node_.now() - rop_->t_start;
   for (const RestartPeer& p : rop_->peers) {
     report.agents.push_back(p.done);
@@ -472,19 +681,93 @@ void Manager::restart_maybe_finish() {
   fn(std::move(report));
 }
 
-void Manager::restart_fail(const std::string& why) {
+void Manager::restart_cancel_deadlines() {
+  if (rop_ == nullptr) return;
+  if (rop_->connect_deadline != 0) {
+    (void)node_.engine().cancel(rop_->connect_deadline);
+    rop_->connect_deadline = 0;
+  }
+  if (rop_->phase_deadline != 0) {
+    (void)node_.engine().cancel(rop_->phase_deadline);
+    rop_->phase_deadline = 0;
+  }
+}
+
+void Manager::restart_deadline_expired(const std::string& phase) {
+  if (rop_ == nullptr || rop_->finished) return;
+  std::string stalled;
+  for (const RestartPeer& p : rop_->peers) {
+    bool waiting = phase == "connect"
+                       ? (p.ch == nullptr || !p.ch->established())
+                       : !p.done_received;
+    if (!waiting) continue;
+    if (!stalled.empty()) stalled += ",";
+    stalled += p.target.pod_name + "@" + p.target.agent.to_string();
+  }
+  if (stalled.empty()) return;
+  obs::metrics().counter("mgr.phase.deadline_expired").inc();
+  restart_fail("phase deadline expired: phase=" + phase + " stalled=" +
+                   stalled,
+               /*transient=*/true);
+}
+
+void Manager::restart_fail(const std::string& why, bool transient) {
   if (rop_ == nullptr || rop_->finished) return;
   rop_->finished = true;
+  restart_cancel_deadlines();
   ZLOG_WARN("manager: restart failed: " << why);
   obs::dump_op_failure(rec(), "restart_fail", rop_->op_id, "manager", why,
                        node_.now());
   if (obs::SpanRecorder* r = rec()) r->end_at(node_.now(), rop_->span_root);
   obs::metrics().counter("mgr.restart_failures").inc();
   trace_op("restart ABORTED: " + why, rop_->op_id, rop_->span_root);
+  // Mirror of the checkpoint abort: agents that already (or partially)
+  // restored their pod tear it down, so a failed coordinated restart
+  // never leaves half the application running.
+  for (RestartPeer& p : rop_->peers) {
+    if (p.ch != nullptr && p.ch->open()) {
+      (void)p.ch->send(encode_abort(AbortMsg{rop_->op_id, why}));
+    }
+  }
+
+  // The abort teardown above makes a whole-op re-run safe: every target
+  // agent is back to not hosting the pod.
+  bool retryable =
+      transient && rop_->attempt <= rop_->opts.retry.max_retries;
+  if (retryable) {
+    u32 next = rop_->attempt + 1;
+    sim::Time delay = retry_delay(rop_->opts.retry, rop_->attempt);
+    obs::metrics().counter("mgr.restart.retries").inc();
+    trace("retrying restart in " + std::to_string(delay) + "us (attempt " +
+          std::to_string(next) + ")");
+    node_.engine().schedule(
+        delay,
+        [this, alive = std::weak_ptr<bool>(alive_),
+         targets = std::move(rop_->targets),
+         peer_metas = std::move(rop_->peer_metas),
+         locations = std::move(rop_->locations), opts = std::move(rop_->opts),
+         fn = std::move(rop_->done_fn), next]() mutable {
+          if (auto a = alive.lock(); !a || !*a) return;
+          if (rop_ != nullptr) {
+            RestartReport r;
+            r.error = "manager busy at restart retry";
+            r.attempts = next;
+            fn(std::move(r));
+            return;
+          }
+          restart_begin_attempt(std::move(targets), std::move(peer_metas),
+                                std::move(locations), std::move(opts),
+                                std::move(fn), next);
+        });
+    rop_.reset();
+    return;
+  }
+
   RestartReport report;
   report.ok = false;
   report.error = why;
   report.op_id = rop_->op_id;
+  report.attempts = rop_->attempt;
   RestartDoneFn fn = std::move(rop_->done_fn);
   rop_.reset();
   fn(std::move(report));

@@ -21,11 +21,44 @@
 #include "core/schedule.h"
 #include "core/trace.h"
 #include "os/node.h"
+#include "util/rng.h"
 
 namespace zapc::core {
 
 class Manager {
  public:
+  /// Watchdog deadlines for the phases of a coordinated operation.  Each
+  /// is a duration from the phase's start; 0 disables that deadline (wait
+  /// forever), which is the default and preserves the old blocking
+  /// behaviour.  On expiry the Manager aborts the op, naming the stalled
+  /// peers and phase in the failure reason and postmortem.
+  struct Deadlines {
+    sim::Time connect_us = 0;  // command sent → every channel established
+    sim::Time meta_us = 0;     // invocation → all META_REPORTs received
+    sim::Time done_us = 0;     // sync point → all CKPT_DONEs received
+    sim::Time restart_us = 0;  // invocation → all RESTART_DONEs received
+    /// Shipped to agents: abort if CONTINUE hasn't arrived this long
+    /// after the local standalone checkpoint finished (a stalled Manager
+    /// or peer must not leave a pod suspended forever).
+    sim::Time agent_barrier_us = 0;
+    /// Shipped to agents: fail a stream:// restart if the checkpoint
+    /// stream hasn't fully arrived this long after the command.
+    sim::Time agent_stream_us = 0;
+  };
+
+  /// Whole-operation retry for *transient* failures (deadline expiry,
+  /// lost channel, storage hiccup, agent barrier watchdog).  Disabled by
+  /// default.  Retries re-run the entire coordinated op with a fresh
+  /// op_id after an exponential, jittered backoff; non-transient failures
+  /// (protocol/decode errors) and unsafe retries (a MIGRATE that already
+  /// passed the sync point) report failure immediately.
+  struct RetryPolicy {
+    u32 max_retries = 0;  // extra attempts after the first
+    sim::Time backoff_us = 50 * sim::kMillisecond;  // delay before retry 1
+    double backoff_factor = 2.0;  // growth per subsequent retry
+    double jitter = 0.2;          // ± fraction applied to each delay
+  };
+
   /// «node, pod, URI» tuple: which agent, which pod, where the image goes
   /// (checkpoint) or comes from (restart).  `vip` is optional (0 =
   /// unknown); supplying it lets the send-queue redirect optimization
@@ -42,6 +75,7 @@ class Manager {
     bool ok = false;
     std::string error;
     obs::OpId op_id = 0;  // causal-trace id of this coordinated op
+    u32 attempts = 1;     // 1 = succeeded/failed without retrying
     std::vector<CkptDone> agents;          // per-pod completion reports
     std::map<std::string, ckpt::NetMeta> metas;  // pod name → meta-data
     sim::Time total_us = 0;     // invocation → all pods reported done
@@ -56,6 +90,7 @@ class Manager {
     bool ok = false;
     std::string error;
     obs::OpId op_id = 0;
+    u32 attempts = 1;
     std::vector<RestartDone> agents;
     sim::Time total_us = 0;
     u64 max_connectivity_us = 0;
@@ -84,6 +119,10 @@ class Manager {
     u32 codec_flags = 0;
     /// Migration: stream image chunks as serialization produces them.
     bool pipelined_stream = false;
+    /// Phase watchdogs (all disabled by default).
+    Deadlines deadlines;
+    /// Whole-op retry on transient failure (disabled by default).
+    RetryPolicy retry;
   };
 
   /// Coordinated checkpoint of all targets.
@@ -94,12 +133,24 @@ class Manager {
     checkpoint(std::move(targets), mode, std::move(done), CkptOptions());
   }
 
+  /// Per-restart knobs beyond the target list and meta-data.
+  struct RestartOptions {
+    Deadlines deadlines;
+    RetryPolicy retry;
+  };
+
   /// Coordinated restart.  `metas` must hold the checkpoint meta-data per
   /// pod name; pass {} to use the metas cached from the last checkpoint
   /// this Manager ran.
   void restart(std::vector<Target> targets,
                std::map<std::string, ckpt::NetMeta> metas,
-               RestartDoneFn done);
+               RestartDoneFn done, RestartOptions opts);
+  void restart(std::vector<Target> targets,
+               std::map<std::string, ckpt::NetMeta> metas,
+               RestartDoneFn done) {
+    restart(std::move(targets), std::move(metas), std::move(done),
+            RestartOptions());
+  }
 
   /// One endpoint of a live migration: which agent currently hosts the
   /// pod, where it should go, and its virtual address.
@@ -126,6 +177,9 @@ class Manager {
     bool pipelined_stream = true;
     /// ckpt::kCodec* bits for the streamed image.
     u32 codec_flags = 0;
+    /// Applied to both the checkpoint and restart halves.
+    Deadlines deadlines;
+    RetryPolicy retry;
   };
 
   /// Live migration in one call (paper §1: "directly stream checkpoint
@@ -156,8 +210,11 @@ class Manager {
   };
   struct CkptState {
     std::vector<CkptPeer> peers;
+    std::vector<Target> targets;  // kept verbatim for retries
+    CkptOptions opts;
     CkptMode mode{};
     bool redirect = false;
+    u32 attempt = 1;
     sim::Time t_start = 0;
     sim::Time t_sync = 0;
     CheckpointReport report;
@@ -168,6 +225,8 @@ class Manager {
     obs::SpanId span_root = 0;       // "mgr.ckpt"
     obs::SpanId span_meta_wait = 0;  // invocation → sync point
     obs::SpanId span_done_wait = 0;  // sync point → all done
+    sim::EventId connect_deadline = 0;  // 0 = not armed
+    sim::EventId phase_deadline = 0;    // meta_wait, then done_wait
   };
 
   struct RestartPeer {
@@ -178,24 +237,55 @@ class Manager {
   };
   struct RestartState {
     std::vector<RestartPeer> peers;
+    std::vector<Target> targets;  // kept verbatim for retries
+    /// Per-target modified meta-data (plan output) and the new virtual →
+    /// real placement, both reused verbatim on retry.
+    std::vector<ckpt::NetMeta> peer_metas;
+    std::vector<std::pair<net::IpAddr, net::IpAddr>> locations;
+    RestartOptions opts;
+    u32 attempt = 1;
     sim::Time t_start = 0;
     RestartReport report;
     RestartDoneFn done_fn;
     bool finished = false;
     obs::OpId op_id = 0;
     obs::SpanId span_root = 0;  // "mgr.restart"
+    sim::EventId connect_deadline = 0;  // 0 = not armed
+    sim::EventId phase_deadline = 0;    // restart_wait
   };
 
+  /// (Re)starts a checkpoint attempt: creates CkptState from the saved
+  /// inputs, then connects and broadcasts the commands.
+  void ckpt_begin_attempt(std::vector<Target> targets, CkptMode mode,
+                          CkptOptions opts, CheckpointDoneFn done,
+                          u32 attempt);
+  void ckpt_start();
   void ckpt_on_msg(std::size_t idx, Bytes msg);
   void ckpt_on_closed(std::size_t idx);
   void ckpt_maybe_continue();
   void ckpt_maybe_finish();
-  void ckpt_fail(const std::string& why);
+  void ckpt_cancel_deadlines();
+  void ckpt_deadline_expired(const std::string& phase);
+  /// Removes the peers' half-written `<uri>.tmp` objects after an abort.
+  void ckpt_gc_tmp();
+  void ckpt_fail(const std::string& why, bool transient);
 
+  void restart_begin_attempt(std::vector<Target> targets,
+                             std::vector<ckpt::NetMeta> peer_metas,
+                             std::vector<std::pair<net::IpAddr, net::IpAddr>>
+                                 locations,
+                             RestartOptions opts, RestartDoneFn done,
+                             u32 attempt);
+  void restart_start();
   void restart_on_msg(std::size_t idx, Bytes msg);
   void restart_on_closed(std::size_t idx);
   void restart_maybe_finish();
-  void restart_fail(const std::string& why);
+  void restart_cancel_deadlines();
+  void restart_deadline_expired(const std::string& phase);
+  void restart_fail(const std::string& why, bool transient);
+
+  /// Backoff delay before retry number `attempt` (1-based), jittered.
+  sim::Time retry_delay(const RetryPolicy& p, u32 attempt);
 
   void trace(const std::string& what);
   /// Causally-tagged trace event for the active coordinated op.
@@ -214,6 +304,8 @@ class Manager {
   // Pods whose destination agents were advertised for the redirect (only
   // their connections have redirect records to wait for at restart).
   std::set<net::IpAddr> last_redirect_covered_;
+  /// Jitter source for retry backoff; fixed seed keeps runs reproducible.
+  Rng retry_rng_{0x5eedD15Cull};
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -56,6 +56,7 @@ Bytes encode_checkpoint_cmd(const CheckpointCmd& m) {
   e.put_u32(m.chain_cap);
   e.put_u32(m.codec_flags);
   e.put_bool(m.pipelined);
+  e.put_u64(m.barrier_wait_us);
   return e.take();
 }
 
@@ -80,6 +81,7 @@ Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg) {
   m.chain_cap = d.u32_().value_or(8);
   m.codec_flags = d.u32_().value_or(0);
   m.pipelined = d.bool_().value_or(false);
+  m.barrier_wait_us = d.u64_().value_or(0);
   return m;
 }
 
@@ -134,6 +136,7 @@ Bytes encode_ckpt_done(const CkptDone& m) {
   e.put_u64(m.total_us);
   e.put_u64(m.logical_bytes);
   e.put_u32(m.delta_seq);
+  e.put_bool(m.transient);
   return e.take();
 }
 
@@ -151,6 +154,7 @@ Result<CkptDone> decode_ckpt_done(const Bytes& msg) {
   m.total_us = d.u64_().value_or(0);
   m.logical_bytes = d.u64_().value_or(0);
   m.delta_seq = d.u32_().value_or(0);
+  m.transient = d.bool_().value_or(false);
   return m;
 }
 
@@ -166,6 +170,7 @@ Bytes encode_restart_cmd(const RestartCmd& m) {
     e.put_u32(vip.v);
     e.put_u32(real.v);
   }
+  e.put_u64(m.stream_wait_us);
   return e.take();
 }
 
@@ -187,6 +192,7 @@ Result<RestartCmd> decode_restart_cmd(const Bytes& msg) {
     net::IpAddr real(d.u32_().value_or(0));
     m.locations.emplace_back(vip, real);
   }
+  m.stream_wait_us = d.u64_().value_or(0);
   return m;
 }
 
@@ -199,6 +205,7 @@ Bytes encode_restart_done(const RestartDone& m) {
   e.put_u64(m.connectivity_us);
   e.put_u64(m.net_restore_us);
   e.put_u64(m.total_us);
+  e.put_bool(m.transient);
   return e.take();
 }
 
@@ -214,6 +221,7 @@ Result<RestartDone> decode_restart_done(const Bytes& msg) {
   m.connectivity_us = d.u64_().value_or(0);
   m.net_restore_us = d.u64_().value_or(0);
   m.total_us = d.u64_().value_or(0);
+  m.transient = d.bool_().value_or(false);
   return m;
 }
 

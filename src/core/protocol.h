@@ -72,6 +72,10 @@ struct CheckpointCmd {
   /// Migration: stream image chunks as serialization produces them
   /// instead of materializing the whole image first.
   bool pipelined = false;
+  /// Agent-side barrier watchdog: abort (transiently) if the Manager's
+  /// CONTINUE has not arrived this long after the standalone checkpoint
+  /// finished.  0 = wait forever.
+  u64 barrier_wait_us = 0;
 };
 
 struct MetaReport {
@@ -101,6 +105,9 @@ struct CkptDone {
   // Appended fields (old peers decode them as defaults).
   u64 logical_bytes = 0;  // pre-codec, pre-delta state size (0 = unknown)
   u32 delta_seq = 0;      // 0 = full image, N = Nth delta in its chain
+  /// Failed for a transient reason (storage hiccup, barrier watchdog):
+  /// the Manager may retry the whole operation.
+  bool transient = false;
 };
 
 struct RestartCmd {
@@ -111,6 +118,10 @@ struct RestartCmd {
   ckpt::NetMeta meta;      // modified meta-data with roles + discards
   /// Virtual→real location updates for every participating pod.
   std::vector<std::pair<net::IpAddr, net::IpAddr>> locations;
+  // Appended fields (old peers decode them as defaults).
+  /// stream:// sources: fail the restart if the checkpoint stream has
+  /// not fully arrived this long after the command.  0 = wait forever.
+  u64 stream_wait_us = 0;
 };
 
 struct RestartDone {
@@ -121,6 +132,9 @@ struct RestartDone {
   u64 connectivity_us = 0;
   u64 net_restore_us = 0;
   u64 total_us = 0;
+  // Appended fields (old peers decode them as defaults).
+  /// Failed for a transient reason (stream deadline): retryable.
+  bool transient = false;
 };
 
 struct StreamOpen {

@@ -1,0 +1,127 @@
+// Deterministic fault injection.
+//
+// The paper's protocol is exercised almost exclusively on the happy path
+// by the figure benchmarks; real clusters hang, drop packets, crash mid
+// checkpoint and tear writes to shared storage.  This subsystem makes
+// every one of those failures a first-class, *seeded* event: a FaultPlan
+// is a small list of FaultSpecs drawn from a SplitMix64 stream, armed on
+// the process-global Injector, and consulted from cheap hooks in the
+// fabric (wire delay), the message channels (drop / duplicate / stall a
+// specific protocol message), the agents (crash at a named phase, slow
+// node) and the SAN (failed or short object write).  The same seed
+// always produces the same schedule, so a soak failure replays exactly.
+//
+// The library sits below net/os/core on purpose: it speaks only strings,
+// integers and microseconds, so every layer can consult it without
+// dependency cycles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace zapc::fault {
+
+enum class FaultKind : u8 {
+  CRASH_AT_PHASE = 0,  // agent's node dies when it enters a named phase
+  DROP_MSG = 1,        // swallow the Nth protocol message of a type
+  DUP_MSG = 2,         // deliver the Nth protocol message of a type twice
+  STALL_CHANNEL = 3,   // hold a channel's delivery for stall_us (hung peer)
+  SAN_WRITE_FAIL = 4,  // the Nth matching SAN object write errors out
+  SAN_SHORT_WRITE = 5, // ... or silently stores a truncated object
+  SLOW_NODE = 6,       // multiply a node's local work + wire latency
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::DROP_MSG;
+  std::string node;   // CRASH/SLOW: node name ("" = any node)
+  std::string phase;  // CRASH_AT_PHASE: agent phase ("ckpt.standalone", ...)
+  u8 msg_type = 0;    // DROP/DUP/STALL: core::MsgType byte (0 = any)
+  u32 nth = 1;        // fire on the Nth matching occurrence (1-based)
+  u64 stall_us = 0;   // STALL_CHANNEL hold / SLOW_NODE per-packet extra
+  std::string san_prefix;  // SAN_*: only object paths with this prefix
+  u64 short_bytes = 0;     // SAN_SHORT_WRITE: bytes that actually land
+  double multiplier = 1.0; // SLOW_NODE: local work cost factor
+  u32 node_ip = 0;         // SLOW_NODE: real node address for wire delay
+
+  std::string describe() const;
+};
+
+/// Channel-level verdict for one inbound frame.
+struct MsgVerdict {
+  bool drop = false;
+  bool duplicate = false;
+  u64 stall_us = 0;  // hold this channel's delivery for this long
+};
+
+/// Storage-level verdict for one object write.
+struct SanVerdict {
+  bool fail = false;
+  u64 keep_bytes = ~u64{0};  // < size ⇒ torn (truncated) object
+};
+
+/// The process-global fault injector.  One-shot faults (everything but
+/// SLOW_NODE) fire exactly once when their Nth matching occurrence is
+/// seen; the occurrence counters are global, which keeps schedules
+/// deterministic under a fixed event order.
+class Injector {
+ public:
+  void arm(FaultSpec spec);
+  void clear();
+
+  /// Fast path for the hooks: anything armed at all?
+  bool enabled() const { return !specs_.empty(); }
+  u64 fired() const { return fired_; }
+  std::size_t armed() const { return specs_.size(); }
+
+  /// True ⇒ the calling agent must treat its node as crashed.
+  bool crash_at_phase(const std::string& node, const std::string& phase);
+  /// Consulted once per fully received channel frame (first payload byte
+  /// is the protocol message type).
+  MsgVerdict on_channel_msg(u8 msg_type);
+  SanVerdict on_san_write(const std::string& path, u64 size);
+  /// Extra one-way wire latency for a packet between two real addresses.
+  u64 wire_extra_us(u32 src_ip, u32 dst_ip);
+  /// Cost multiplier for local (virtual-CPU) work on a node.
+  double local_cost_multiplier(const std::string& node);
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    u32 seen = 0;
+    bool fired = false;
+  };
+  void record_fire(Armed& a, const std::string& what);
+
+  std::vector<Armed> specs_;
+  u64 fired_ = 0;
+};
+
+/// The singleton every hook consults (single-threaded simulation, like
+/// obs::metrics()).
+Injector& injector();
+
+/// A seeded, self-describing fault schedule.
+struct FaultPlan {
+  struct NodeRef {
+    std::string name;
+    u32 ip = 0;  // real node address (for fabric-level faults)
+  };
+
+  u64 seed = 0;
+  std::vector<FaultSpec> specs;
+
+  /// Draws 1–3 faults for the given nodes from a SplitMix64 stream:
+  /// identical (seed, nodes) ⇒ identical plan.
+  static FaultPlan random(u64 seed, const std::vector<NodeRef>& nodes);
+
+  /// Arms every spec on the global injector (call clear() first for a
+  /// fresh schedule).
+  void arm() const;
+  std::string describe() const;
+};
+
+}  // namespace zapc::fault

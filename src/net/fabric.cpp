@@ -1,5 +1,6 @@
 #include "net/fabric.h"
 
+#include "fault/fault.h"
 #include "util/log.h"
 
 namespace zapc::net {
@@ -37,6 +38,10 @@ void Fabric::send(WirePacket pkt) {
   sim::Time extra =
       config_.jitter > 0 ? rng_.below(config_.jitter + 1) : 0;
   sim::Time arrival = tx_start + tx_time + config_.latency + extra;
+  if (fault::injector().enabled()) {
+    arrival +=
+        fault::injector().wire_extra_us(pkt.src_node.v, pkt.dst_node.v);
+  }
 
   IpAddr dst = pkt.dst_node;
   engine_.schedule_at(arrival, [this, dst, p = std::move(pkt)]() mutable {

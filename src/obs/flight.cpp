@@ -96,12 +96,17 @@ std::string FlightRecorder::dump_postmortem(const std::string& kind, OpId op,
   return path;
 }
 
-void dump_op_failure(const SpanRecorder* rec, const std::string& kind,
-                     OpId op, const std::string& who,
-                     const std::string& reason, Time t) {
+void dump_op_failure(SpanRecorder* rec, const std::string& kind, OpId op,
+                     const std::string& who, const std::string& reason,
+                     Time t) {
   const SpanRecord* phase = rec != nullptr ? rec->innermost_open(op) : nullptr;
-  flight().dump_postmortem(kind, op, who, phase != nullptr ? phase->name : "",
-                           reason, t);
+  std::string phase_name = phase != nullptr ? phase->name : "";
+  if (rec != nullptr) {
+    // The marker lands in the span stream (and this postmortem's ring)
+    // before the dump, so the dump itself carries its own evidence.
+    rec->event_at(t, who, "op.fail kind=" + kind, 0, op);
+  }
+  flight().dump_postmortem(kind, op, who, phase_name, reason, t);
 }
 
 FlightRecorder& flight() {

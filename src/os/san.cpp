@@ -1,9 +1,28 @@
 #include "os/san.h"
 
+#include "fault/fault.h"
+
 namespace zapc::os {
 
-void VirtualSAN::write(const std::string& path, Bytes data) {
+Status VirtualSAN::write(const std::string& path, Bytes data) {
+  if (fault::injector().enabled()) {
+    auto v = fault::injector().on_san_write(path, data.size());
+    if (v.fail) return Status(Err::IO, "injected write failure: " + path);
+    if (v.keep_bytes < data.size()) {
+      data.resize(v.keep_bytes);  // torn object, reported as success
+    }
+  }
   objects_[path] = std::move(data);
+  return Status::ok();
+}
+
+Status VirtualSAN::rename(const std::string& from, const std::string& to) {
+  auto it = objects_.find(from);
+  if (it == objects_.end()) return Status(Err::NO_ENT, from);
+  if (from == to) return Status::ok();
+  objects_[to] = std::move(it->second);
+  objects_.erase(from);
+  return Status::ok();
 }
 
 void VirtualSAN::append(const std::string& path, const Bytes& data) {

@@ -19,14 +19,20 @@ namespace zapc::os {
 
 class VirtualSAN {
  public:
-  /// Overwrites the object at `path`.
-  void write(const std::string& path, Bytes data);
+  /// Overwrites the object at `path`.  Err::IO under injected storage
+  /// faults (fault::injector()); a short-write fault instead stores a
+  /// truncated object and still reports success, like real disks do.
+  Status write(const std::string& path, Bytes data);
 
   /// Appends to the object at `path`, creating it if missing.
   void append(const std::string& path, const Bytes& data);
 
   /// Reads a whole object; Err::NO_ENT if missing.
   Result<Bytes> read(const std::string& path) const;
+
+  /// Atomically moves `from` to `to` (overwriting `to`); the commit half
+  /// of the two-phase image write.  Err::NO_ENT if `from` is missing.
+  Status rename(const std::string& from, const std::string& to);
 
   bool exists(const std::string& path) const;
   Status remove(const std::string& path);

@@ -1,0 +1,483 @@
+// Failure-hardened coordination under deterministic fault injection:
+// phase deadlines name the stalled peer, transient failures retry, the
+// two-phase image commit never clobbers the last good image, aborted
+// operations are transparent to the application (byte-exact resume), and
+// a failed coordinated restart tears down partially restored pods.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/manager.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "os/cluster.h"
+#include "tests/guest_programs.h"
+
+namespace zapc::core {
+namespace {
+
+using test::EchoClient;
+using test::EchoServer;
+
+net::IpAddr vip(u8 i) { return net::IpAddr(10, 77, 0, i); }
+
+u64 counter_value(const std::string& name) {
+  const auto snap = obs::metrics().snapshot();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// Tight watchdogs so every injected hang turns into a prompt, named
+/// abort instead of a stuck test.
+Manager::Deadlines fast_deadlines() {
+  Manager::Deadlines d;
+  d.connect_us = 1 * sim::kSecond;
+  d.meta_us = 2 * sim::kSecond;
+  d.done_us = 2 * sim::kSecond;
+  d.restart_us = 4 * sim::kSecond;
+  d.agent_barrier_us = 2 * sim::kSecond;
+  d.agent_stream_us = 2 * sim::kSecond;
+  return d;
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  static constexpr u32 kEchoBytes = 2 << 20;
+
+  FaultTest() {
+    fault::injector().clear();
+    mgr_node_ = &cl_.add_node("mgr");
+    for (int i = 0; i < 4; ++i) {
+      nodes_.push_back(&cl_.add_node("n" + std::to_string(i + 1)));
+      agents_.push_back(
+          std::make_unique<Agent>(*nodes_.back(), Agent::kDefaultPort,
+                                  CostModel{}, &trace_));
+    }
+    manager_ = std::make_unique<Manager>(*mgr_node_, &trace_);
+  }
+
+  ~FaultTest() override { fault::injector().clear(); }
+
+  void start_app(u32 bytes = kEchoBytes) {
+    pod::Pod& sp = agents_[0]->create_pod(vip(1), "server-pod");
+    server_pid_ = sp.spawn(std::make_unique<EchoServer>(5000));
+    pod::Pod& cp = agents_[1]->create_pod(vip(2), "client-pod");
+    client_pid_ = cp.spawn(std::make_unique<EchoClient>(
+        net::SockAddr{vip(1), 5000}, bytes));
+    cl_.run_for(20 * sim::kMillisecond);
+  }
+
+  Manager::CheckpointReport checkpoint(Manager::CkptOptions opts = {}) {
+    Manager::CheckpointReport out;
+    bool done = false;
+    manager_->checkpoint(
+        {
+            {agents_[0]->addr(), "server-pod", "san://ckpt/server"},
+            {agents_[1]->addr(), "client-pod", "san://ckpt/client"},
+        },
+        CkptMode::SNAPSHOT,
+        [&](Manager::CheckpointReport r) {
+          out = std::move(r);
+          done = true;
+        },
+        opts);
+    for (int i = 0; i < 20000 && !done; ++i) {
+      cl_.run_for(sim::kMillisecond);
+    }
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  Manager::RestartReport restart(int dst_a, int dst_b,
+                                 Manager::RestartOptions opts = {}) {
+    Manager::RestartReport out;
+    bool done = false;
+    manager_->restart(
+        {
+            {agents_[dst_a]->addr(), "server-pod", "san://ckpt/server"},
+            {agents_[dst_b]->addr(), "client-pod", "san://ckpt/client"},
+        },
+        {},
+        [&](Manager::RestartReport r) {
+          out = std::move(r);
+          done = true;
+        },
+        opts);
+    for (int i = 0; i < 20000 && !done; ++i) {
+      cl_.run_for(sim::kMillisecond);
+    }
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  i32 wait_client(int agent_idx, sim::Time budget = 120 * sim::kSecond) {
+    pod::Pod* cp = agents_[agent_idx]->find_pod("client-pod");
+    if (cp == nullptr) return -100;
+    for (sim::Time t = 0; t < budget; t += 10 * sim::kMillisecond) {
+      cl_.run_for(10 * sim::kMillisecond);
+      os::Process* p = cp->find_process(client_pid_);
+      if (p != nullptr && p->state() == os::ProcState::EXITED) {
+        return p->exit_code();
+      }
+    }
+    return -101;
+  }
+
+  /// Asserts the two-phase commit left no half-written image behind.
+  void expect_no_temp_images() {
+    for (const std::string& path : cl_.san().list("")) {
+      EXPECT_FALSE(path.size() >= 4 &&
+                   path.compare(path.size() - 4, 4, ".tmp") == 0)
+          << "orphan temp image: " << path;
+    }
+  }
+
+  void arm(fault::FaultSpec spec) { fault::injector().arm(spec); }
+
+  os::Cluster cl_;
+  Trace trace_;
+  os::Node* mgr_node_;
+  std::vector<os::Node*> nodes_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::unique_ptr<Manager> manager_;
+  i32 server_pid_ = 0;
+  i32 client_pid_ = 0;
+};
+
+TEST_F(FaultTest, DroppedMetaReportExpiresDeadlineNamingStalledPeer) {
+  start_app();
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::DROP_MSG;
+  s.msg_type = static_cast<u8>(MsgType::META_REPORT);
+  arm(s);
+
+  const u64 expired_before = counter_value("mgr.phase.deadline_expired");
+  const sim::Time t0 = cl_.now();
+  Manager::CkptOptions opts;
+  opts.deadlines = fast_deadlines();
+  auto cr = checkpoint(opts);
+
+  EXPECT_FALSE(cr.ok);
+  EXPECT_EQ(cr.attempts, 1u);
+  // The failure names the expired phase and the stalled pod.
+  EXPECT_NE(cr.error.find("meta_wait"), std::string::npos) << cr.error;
+  EXPECT_NE(cr.error.find("server-pod"), std::string::npos) << cr.error;
+  // ... and it happened at the deadline, not after an unbounded hang.
+  EXPECT_LT(cl_.now() - t0, 4 * sim::kSecond);
+  EXPECT_GT(counter_value("mgr.phase.deadline_expired"), expired_before);
+
+  // The abort is transparent: the app resumes and verifies every byte.
+  fault::injector().clear();
+  EXPECT_EQ(wait_client(1), 0);
+  expect_no_temp_images();
+}
+
+TEST_F(FaultTest, DroppedContinueIsRetriedToSuccess) {
+  start_app();
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::DROP_MSG;
+  s.msg_type = static_cast<u8>(MsgType::CONTINUE);
+  arm(s);
+
+  const u64 retries_before = counter_value("mgr.ckpt.retries");
+  Manager::CkptOptions opts;
+  opts.deadlines = fast_deadlines();
+  opts.retry.max_retries = 2;
+  opts.retry.backoff_us = 100 * sim::kMillisecond;
+  auto cr = checkpoint(opts);
+
+  EXPECT_TRUE(cr.ok) << cr.error;
+  EXPECT_EQ(cr.attempts, 2u);
+  EXPECT_EQ(counter_value("mgr.ckpt.retries"), retries_before + 1);
+  EXPECT_EQ(wait_client(1), 0);
+  expect_no_temp_images();
+}
+
+TEST_F(FaultTest, StalledAgentChannelFailsWithinConfiguredDeadline) {
+  start_app();
+  // The agent "hangs": its META_REPORT is held far beyond the deadline.
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::STALL_CHANNEL;
+  s.msg_type = static_cast<u8>(MsgType::META_REPORT);
+  s.stall_us = 10 * sim::kSecond;
+  arm(s);
+
+  const sim::Time t0 = cl_.now();
+  Manager::CkptOptions opts;
+  opts.deadlines = fast_deadlines();  // meta deadline: 2s
+  auto cr = checkpoint(opts);
+
+  EXPECT_FALSE(cr.ok);
+  EXPECT_NE(cr.error.find("deadline expired"), std::string::npos)
+      << cr.error;
+  EXPECT_NE(cr.error.find("meta_wait"), std::string::npos) << cr.error;
+  EXPECT_NE(cr.error.find("-pod"), std::string::npos) << cr.error;
+  EXPECT_LT(cl_.now() - t0, 4 * sim::kSecond);
+
+  fault::injector().clear();
+  cl_.run_for(12 * sim::kSecond);  // let the stalled frame drain
+  EXPECT_EQ(wait_client(1), 0);
+  expect_no_temp_images();
+}
+
+TEST_F(FaultTest, TransientStorageFailureIsRetriedToSuccess) {
+  start_app();
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::SAN_WRITE_FAIL;
+  s.san_prefix = "ckpt/";
+  arm(s);
+
+  Manager::CkptOptions opts;
+  opts.deadlines = fast_deadlines();
+  opts.retry.max_retries = 1;
+  opts.retry.backoff_us = 100 * sim::kMillisecond;
+  auto cr = checkpoint(opts);
+
+  EXPECT_TRUE(cr.ok) << cr.error;
+  EXPECT_EQ(cr.attempts, 2u);
+  EXPECT_TRUE(cl_.san().exists("ckpt/server"));
+  EXPECT_TRUE(cl_.san().exists("ckpt/client"));
+  EXPECT_EQ(wait_client(1), 0);
+  expect_no_temp_images();
+}
+
+TEST_F(FaultTest, TornWriteNeverClobbersLastGoodImage) {
+  start_app();
+  auto base = checkpoint();  // clean baseline, committed
+  ASSERT_TRUE(base.ok) << base.error;
+  auto server_before = cl_.san().read("ckpt/server");
+  ASSERT_TRUE(server_before.is_ok());
+
+  // The SAN silently truncates the next image object (a torn write).
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::SAN_SHORT_WRITE;
+  s.san_prefix = "ckpt/";
+  s.short_bytes = 128;
+  arm(s);
+
+  Manager::CkptOptions opts;
+  opts.deadlines = fast_deadlines();
+  auto cr = checkpoint(opts);
+  EXPECT_FALSE(cr.ok);
+  fault::injector().clear();
+  cl_.run_for(3 * sim::kSecond);
+
+  // The staged temp was detected, the abort GC'd it, and the committed
+  // image is byte-identical to the baseline.
+  expect_no_temp_images();
+  auto server_after = cl_.san().read("ckpt/server");
+  ASSERT_TRUE(server_after.is_ok());
+  EXPECT_EQ(server_before.value(), server_after.value());
+
+  // ... and that last committed image is still restartable.
+  ASSERT_TRUE(agents_[0]->destroy_pod("server-pod").is_ok());
+  ASSERT_TRUE(agents_[1]->destroy_pod("client-pod").is_ok());
+  cl_.run_for(100 * sim::kMillisecond);
+  auto rr = restart(0, 1);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_EQ(wait_client(1), 0);
+}
+
+TEST_F(FaultTest, AbortedDeltaDoesNotAdvanceTheChain) {
+  start_app();
+  Manager::CkptOptions incr;
+  incr.incremental = true;
+  auto base = checkpoint(incr);
+  ASSERT_TRUE(base.ok) << base.error;
+
+  // An incremental checkpoint aborts on a storage failure: the chain
+  // state must stay at the baseline.
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::SAN_WRITE_FAIL;
+  s.san_prefix = "ckpt/";
+  arm(s);
+  Manager::CkptOptions opts = incr;
+  opts.deadlines = fast_deadlines();
+  auto aborted = checkpoint(opts);
+  EXPECT_FALSE(aborted.ok);
+  fault::injector().clear();
+  cl_.run_for(3 * sim::kSecond);
+
+  // The next incremental checkpoint commits a delta over the *baseline*
+  // and the whole chain still restarts the application byte-exactly.
+  auto cr = checkpoint(incr);
+  ASSERT_TRUE(cr.ok) << cr.error;
+  ASSERT_TRUE(agents_[0]->destroy_pod("server-pod").is_ok());
+  ASSERT_TRUE(agents_[1]->destroy_pod("client-pod").is_ok());
+  cl_.run_for(100 * sim::kMillisecond);
+  auto rr = restart(0, 1);
+  ASSERT_TRUE(rr.ok) << rr.error;
+  EXPECT_EQ(wait_client(1), 0);
+  expect_no_temp_images();
+}
+
+TEST_F(FaultTest, FailedRestartTearsDownPartiallyRestoredPods) {
+  start_app();
+  auto cr = checkpoint();
+  ASSERT_TRUE(cr.ok) << cr.error;
+  ASSERT_TRUE(agents_[0]->destroy_pod("server-pod").is_ok());
+  ASSERT_TRUE(agents_[1]->destroy_pod("client-pod").is_ok());
+  cl_.run_for(100 * sim::kMillisecond);
+
+  // One RESTART_DONE never reaches the Manager: the deadline expires,
+  // the Manager broadcasts the abort, and even the pods that restored
+  // *successfully* are torn down (a coordinated restart is all-or-none).
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::DROP_MSG;
+  s.msg_type = static_cast<u8>(MsgType::RESTART_DONE);
+  arm(s);
+
+  Manager::RestartOptions ropts;
+  ropts.deadlines = fast_deadlines();
+  auto rr = restart(2, 3, ropts);
+  EXPECT_FALSE(rr.ok);
+  EXPECT_NE(rr.error.find("deadline expired"), std::string::npos)
+      << rr.error;
+  fault::injector().clear();
+  cl_.run_for(sim::kSecond);
+  EXPECT_EQ(agents_[2]->find_pod("server-pod"), nullptr);
+  EXPECT_EQ(agents_[3]->find_pod("client-pod"), nullptr);
+
+  // A clean retry of the same restart then works end-to-end.
+  auto rr2 = restart(2, 3, ropts);
+  ASSERT_TRUE(rr2.ok) << rr2.error;
+  EXPECT_EQ(wait_client(3), 0);
+}
+
+TEST_F(FaultTest, AbortedMigrationResumesTheSourcePods) {
+  start_app();
+  // The migration's checkpoint half aborts before the sync point: both
+  // source pods must resume in place, untouched.
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::DROP_MSG;
+  s.msg_type = static_cast<u8>(MsgType::META_REPORT);
+  arm(s);
+
+  Manager::MigrateOptions mopts;
+  mopts.deadlines = fast_deadlines();
+  bool done = false;
+  Manager::MigrateReport mr;
+  manager_->migrate(
+      {
+          {agents_[0]->addr(), agents_[2]->addr(), "server-pod", vip(1)},
+          {agents_[1]->addr(), agents_[3]->addr(), "client-pod", vip(2)},
+      },
+      [&](Manager::MigrateReport r) {
+        mr = std::move(r);
+        done = true;
+      },
+      mopts);
+  for (int i = 0; i < 20000 && !done; ++i) cl_.run_for(sim::kMillisecond);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(mr.ok);
+
+  fault::injector().clear();
+  cl_.run_for(sim::kSecond);
+  ASSERT_NE(agents_[0]->find_pod("server-pod"), nullptr);
+  ASSERT_NE(agents_[1]->find_pod("client-pod"), nullptr);
+  EXPECT_FALSE(agents_[0]->find_pod("server-pod")->suspended());
+  EXPECT_EQ(wait_client(1), 0);
+  expect_no_temp_images();
+}
+
+// ---- Crash-at-every-phase sweeps -------------------------------------------
+
+class CkptCrashPhaseTest : public FaultTest,
+                           public ::testing::WithParamInterface<const char*> {
+};
+
+TEST_P(CkptCrashPhaseTest, FailsWithinDeadlineAndSurvivorResumes) {
+  start_app();
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::CRASH_AT_PHASE;
+  s.node = "n1";  // the server-pod's agent dies at the given phase
+  s.phase = GetParam();
+  arm(s);
+
+  const sim::Time t0 = cl_.now();
+  Manager::CkptOptions opts;
+  opts.deadlines = fast_deadlines();
+  auto cr = checkpoint(opts);
+
+  EXPECT_FALSE(cr.ok);
+  EXPECT_NE(cr.error.find("server-pod"), std::string::npos) << cr.error;
+  EXPECT_LT(cl_.now() - t0, 6 * sim::kSecond);
+  EXPECT_TRUE(nodes_[0]->failed());
+
+  // The surviving agent's pod was resumed by the abort, not left
+  // suspended behind the barrier, and no half-written image remains.
+  fault::injector().clear();
+  cl_.run_for(3 * sim::kSecond);
+  pod::Pod* cp = agents_[1]->find_pod("client-pod");
+  ASSERT_NE(cp, nullptr);
+  EXPECT_FALSE(cp->suspended());
+  expect_no_temp_images();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCkptPhases, CkptCrashPhaseTest,
+                         ::testing::Values("ckpt.begin", "ckpt.netckpt",
+                                           "ckpt.standalone", "ckpt.deliver",
+                                           "ckpt.barrier"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+class RestartCrashPhaseTest
+    : public FaultTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(RestartCrashPhaseTest, FailsWithinDeadlineAndTearsDownPartials) {
+  start_app();
+  auto cr = checkpoint();
+  ASSERT_TRUE(cr.ok) << cr.error;
+  ASSERT_TRUE(agents_[0]->destroy_pod("server-pod").is_ok());
+  ASSERT_TRUE(agents_[1]->destroy_pod("client-pod").is_ok());
+  cl_.run_for(100 * sim::kMillisecond);
+
+  fault::FaultSpec s;
+  s.kind = fault::FaultKind::CRASH_AT_PHASE;
+  s.node = "n3";  // the server-pod's destination agent dies
+  s.phase = GetParam();
+  arm(s);
+
+  const sim::Time t0 = cl_.now();
+  Manager::RestartOptions ropts;
+  ropts.deadlines = fast_deadlines();
+  auto rr = restart(2, 3, ropts);
+  EXPECT_FALSE(rr.ok);
+  EXPECT_LT(cl_.now() - t0, 8 * sim::kSecond);
+  EXPECT_TRUE(nodes_[2]->failed());
+
+  // The surviving destination tore its restored pod down again.
+  fault::injector().clear();
+  cl_.run_for(sim::kSecond);
+  EXPECT_EQ(agents_[3]->find_pod("client-pod"), nullptr);
+
+  // The images are untouched: restarting on healthy nodes still works.
+  auto rr2 = restart(0, 1, ropts);
+  ASSERT_TRUE(rr2.ok) << rr2.error;
+  EXPECT_EQ(wait_client(1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRestartPhases, RestartCrashPhaseTest,
+                         ::testing::Values("restart.begin",
+                                           "restart.connectivity",
+                                           "restart.netstate",
+                                           "restart.standalone"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace zapc::core

@@ -86,6 +86,7 @@ TEST(TraceAnalysis, ResumeBeforeContinueIsAViolation) {
   obs::SpanId cont =
       rec.event_at(300, "manager", "mgr.continue", root, op);
   rec.event_at(200, "agent@n1", "agent.resume pod=p0", cont, op);
+  rec.end_at(400, root);
   auto bad = validate_ops(rec.spans());
   ASSERT_FALSE(bad.empty());
   EXPECT_NE(bad.front().find("before mgr.continue"), std::string::npos);
@@ -97,6 +98,7 @@ TEST(TraceAnalysis, UnparentedResumeIsAViolation) {
   obs::SpanId root = rec.begin_at(100, "mgr.ckpt", "manager", 0, op);
   rec.event_at(300, "manager", "mgr.continue", root, op);
   rec.event_at(400, "agent@n1", "agent.resume pod=p0", root, op);
+  rec.end_at(500, root);
   auto bad = validate_ops(rec.spans());
   ASSERT_FALSE(bad.empty());
   EXPECT_NE(bad.front().find("not parented"), std::string::npos);
@@ -114,6 +116,8 @@ TEST(TraceAnalysis, NetworkLastOrderingFlaggedUnlessAllowed) {
       rec.begin_at(200, "ckpt.netckpt", "agent@n1", aroot, op);
   rec.end_at(220, net);
   rec.event_at(230, "manager", "mgr.continue", root, op);
+  rec.end_at(240, aroot);
+  rec.end_at(250, root);
 
   auto bad = validate_ops(rec.spans());
   ASSERT_FALSE(bad.empty());
@@ -122,6 +126,35 @@ TEST(TraceAnalysis, NetworkLastOrderingFlaggedUnlessAllowed) {
   ValidateOptions opts;
   opts.allow_network_last = true;
   EXPECT_TRUE(validate_ops(rec.spans(), opts).empty());
+}
+
+TEST(TraceAnalysis, OpenSpanIsAViolationUnlessAllowed) {
+  obs::SpanRecorder rec = good_checkpoint(3);
+  rec.begin_at(500, "ckpt.barrier", "agent@n1", 0, 3);  // never ended
+  auto bad = validate_ops(rec.spans());
+  ASSERT_FALSE(bad.empty());
+  EXPECT_NE(bad.front().find("still open"), std::string::npos);
+
+  // Postmortems snapshot mid-failure; their open spans are legitimate.
+  ValidateOptions opts;
+  opts.allow_open_spans = true;
+  EXPECT_TRUE(validate_ops(rec.spans(), opts).empty());
+}
+
+TEST(TraceAnalysis, AbortWithoutPostmortemMarkerIsAViolation) {
+  obs::SpanRecorder rec;
+  obs::OpId op = 9;
+  obs::SpanId root = rec.begin_at(100, "mgr.ckpt", "manager", 0, op);
+  rec.event_at(200, "manager", "checkpoint ABORTED: storage failed", root,
+               op);
+  rec.end_at(210, root);
+  auto bad = validate_ops(rec.spans());
+  ASSERT_FALSE(bad.empty());
+  EXPECT_NE(bad.front().find("op.fail"), std::string::npos);
+
+  // The op.fail marker obs::dump_op_failure emits satisfies it.
+  rec.event_at(205, "manager", "op.fail kind=ckpt_fail", 0, op);
+  EXPECT_TRUE(validate_ops(rec.spans()).empty());
 }
 
 TEST(TraceAnalysis, RecvAckedInvariantAcrossRestoredPair) {
@@ -139,6 +172,7 @@ TEST(TraceAnalysis, RecvAckedInvariantAcrossRestoredPair) {
                  "remote=10.0.0.1:5000 recv=60 acked=" +
                      std::to_string(acked_b) + " discard=0",
                  root, op);
+    rec.end_at(30, root);
     return rec;
   };
   // recv₁(50) ≥ acked₂(50): consistent.

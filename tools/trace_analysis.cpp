@@ -189,15 +189,39 @@ std::vector<std::string> validate_ops(
       }
     }
     bool aborted = false;
+    bool has_op_fail = false;
     for (const auto* r : t.records) {
-      if (r->kind == obs::SpanKind::EVENT &&
-          starts_with(r->name, "abort")) {
+      if (r->kind != obs::SpanKind::EVENT) continue;
+      if (starts_with(r->name, "abort") ||
+          r->name.find("ABORTED") != std::string::npos) {
         aborted = true;
       }
+      if (starts_with(r->name, "op.fail")) has_op_fail = true;
     }
     if (is_ckpt && !aborted && continues.size() != 1) {
       bad.push_back(tag + "expected exactly one mgr.continue, saw " +
                     std::to_string(continues.size()));
+    }
+
+    // ---- Every aborted operation recorded its failure: an 'op.fail'
+    // EVENT (the marker obs::dump_op_failure emits next to the
+    // flight-recorder postmortem) must accompany the abort markers.
+    if (aborted && !has_op_fail) {
+      bad.push_back(tag +
+                    "op aborted but no op.fail postmortem marker was "
+                    "recorded");
+    }
+
+    // ---- No op-tagged span left open at end-of-trace.  An open span in
+    // a completed run's evidence means some phase neither finished nor
+    // was closed out by the abort path.
+    if (!opts.allow_open_spans) {
+      for (const auto* r : t.records) {
+        if (r->kind == obs::SpanKind::SPAN && r->open) {
+          bad.push_back(tag + r->who + ": span '" + r->name +
+                        "' still open at end-of-trace");
+        }
+      }
     }
     const obs::SpanRecord* cont =
         continues.empty() ? nullptr : continues.front();

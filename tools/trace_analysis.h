@@ -15,7 +15,11 @@
 //     and the resume is causally parented under it;
 //   * recv₁ ≥ acked₂ across both ends of every restored connection
 //     (paper §5: data acknowledged by one side must have been received
-//     by the other, or restart would lose it).
+//     by the other, or restart would lose it);
+//   * every aborted operation carries an 'op.fail' postmortem marker
+//     (the failure was recorded, not silently dropped);
+//   * no op-tagged span is left open at end-of-trace (relaxable for
+//     flight-recorder postmortems, which snapshot mid-failure).
 #pragma once
 
 #include <string>
@@ -57,6 +61,11 @@ struct ValidateOptions {
   /// Accept the NETWORK_LAST ablation ordering (standalone before
   /// network checkpoint) instead of flagging it.
   bool allow_network_last = false;
+  /// Accept spans still open at end-of-trace.  A flight-recorder
+  /// postmortem is a snapshot taken mid-failure, so its in-flight spans
+  /// are legitimately open; a completed run's evidence must close every
+  /// span it tags with an op.
+  bool allow_open_spans = false;
 };
 
 /// Runs every offline invariant check over the stream; returns

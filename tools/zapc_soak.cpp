@@ -1,0 +1,326 @@
+// zapc-soak: seeded fault-injection soak of the coordinated protocol.
+//
+// For each seed this builds a fresh simulated cluster running a live
+// echo application, arms a FaultPlan::random schedule (crash-at-phase,
+// message drop/dup/stall, torn SAN writes, slow nodes) and drives a
+// coordinated checkpoint with phase deadlines and whole-op retry
+// enabled.  After the dust settles it asserts the invariants the
+// failure-hardened protocol guarantees:
+//
+//   * the operation terminates within the configured deadlines (no op
+//     hangs forever, whatever was injected);
+//   * no half-written `<uri>.tmp` image is left on the SAN, and nothing
+//     lands at a final image path unless a checkpoint committed;
+//   * an aborted checkpoint is transparent: the application resumes and
+//     completes with byte-exact verification;
+//   * when a node died mid-operation, the last committed images still
+//     restart the application on fresh nodes (checked whenever no
+//     partial commit raced the abort past the barrier);
+//   * the recorded span stream passes every zapc-trace --validate
+//     invariant (single barrier, op.fail pairing, ordering, ...).
+//
+//   zapc-soak [--seeds N] [--start S] [--verbose]
+//
+// Exit 0 = every seed clean; 1 = at least one violated invariant.  The
+// offending seeds are listed, and each replays deterministically: the
+// same seed always produces the same fault schedule and event order.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/manager.h"
+#include "core/trace.h"
+#include "fault/fault.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "os/cluster.h"
+#include "tests/guest_programs.h"
+#include "tools/trace_analysis.h"
+
+// Restores re-create guest programs through the registry by kind.
+ZAPC_REGISTER_PROGRAM(soak_echo_server, zapc::test::EchoServer)
+ZAPC_REGISTER_PROGRAM(soak_echo_client, zapc::test::EchoClient)
+
+namespace zapc {
+namespace {
+
+constexpr u32 kEchoBytes = 1 << 20;
+
+net::IpAddr vip(u8 i) { return net::IpAddr(10, 77, 0, i); }
+
+u64 counter_value(const std::string& name) {
+  const auto snap = obs::metrics().snapshot();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+/// Runs until the process exits or the virtual-time budget runs out.
+/// Returns the exit code, or an out-of-band negative value.
+i32 wait_exit(os::Cluster& cl, pod::Pod* pod, i32 pid, sim::Time budget) {
+  if (pod == nullptr) return -100;
+  for (sim::Time t = 0; t < budget; t += 10 * sim::kMillisecond) {
+    cl.run_for(10 * sim::kMillisecond);
+    os::Process* p = pod->find_process(pid);
+    if (p != nullptr && p->state() == os::ProcState::EXITED) {
+      return p->exit_code();
+    }
+  }
+  return -101;
+}
+
+core::Manager::CkptOptions soak_ckpt_options(bool incremental) {
+  core::Manager::CkptOptions opts;
+  opts.incremental = incremental;
+  opts.deadlines.connect_us = 2 * sim::kSecond;
+  opts.deadlines.meta_us = 5 * sim::kSecond;
+  opts.deadlines.done_us = 5 * sim::kSecond;
+  opts.deadlines.agent_barrier_us = 5 * sim::kSecond;
+  opts.retry.max_retries = 2;
+  opts.retry.backoff_us = 200 * sim::kMillisecond;
+  return opts;
+}
+
+struct CkptOutcome {
+  bool completed = false;  // the done callback ran at all
+  core::Manager::CheckpointReport report;
+};
+
+CkptOutcome run_checkpoint(os::Cluster& cl, core::Manager& manager,
+                           const std::vector<core::Manager::Target>& targets,
+                           const core::Manager::CkptOptions& opts) {
+  CkptOutcome out;
+  manager.checkpoint(targets, core::CkptMode::SNAPSHOT,
+                     [&](core::Manager::CheckpointReport r) {
+                       out.report = std::move(r);
+                       out.completed = true;
+                     },
+                     opts);
+  for (int i = 0; i < 40000 && !out.completed; ++i) {
+    cl.run_for(sim::kMillisecond);
+  }
+  return out;
+}
+
+/// One seeded schedule; returns the list of violated invariants.
+std::vector<std::string> run_seed(u64 seed, bool verbose) {
+  std::vector<std::string> bad;
+  fault::injector().clear();
+
+  os::Cluster cl;
+  core::Trace trace;
+  os::Node& mgr_node = cl.add_node("mgr");
+  std::vector<os::Node*> nodes;
+  std::vector<std::unique_ptr<core::Agent>> agents;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(&cl.add_node("n" + std::to_string(i + 1)));
+    agents.push_back(std::make_unique<core::Agent>(
+        *nodes.back(), core::Agent::kDefaultPort, core::CostModel{}, &trace));
+  }
+  core::Manager manager(mgr_node, &trace);
+
+  pod::Pod& sp = agents[0]->create_pod(vip(1), "server-pod");
+  (void)sp.spawn(std::make_unique<test::EchoServer>(5000));
+  pod::Pod& cp = agents[1]->create_pod(vip(2), "client-pod");
+  i32 client_pid = cp.spawn(std::make_unique<test::EchoClient>(
+      net::SockAddr{vip(1), 5000}, kEchoBytes));
+  cl.run_for(20 * sim::kMillisecond);
+
+  const std::vector<core::Manager::Target> targets = {
+      {agents[0]->addr(), "server-pod", "san://ckpt/server"},
+      {agents[1]->addr(), "client-pod", "san://ckpt/client"},
+  };
+
+  // Every fourth seed first commits a clean baseline, then injects into
+  // an *incremental* checkpoint on top of it: the aborted-delta and
+  // last-good-image invariants only bite when there is a prior image.
+  const bool with_baseline = seed % 4 == 0;
+  if (with_baseline) {
+    CkptOutcome base =
+        run_checkpoint(cl, manager, targets, soak_ckpt_options(false));
+    if (!base.completed || !base.report.ok) {
+      bad.push_back("baseline checkpoint failed with no faults armed: " +
+                    base.report.error);
+      return bad;
+    }
+  }
+
+  fault::FaultPlan plan = fault::FaultPlan::random(
+      seed, {{nodes[0]->name(), nodes[0]->addr().v},
+             {nodes[1]->name(), nodes[1]->addr().v}});
+  plan.arm();
+  if (verbose) {
+    std::printf("seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                plan.describe().c_str());
+  }
+
+  const u64 committed_before = counter_value("ckpt.commit.committed");
+  CkptOutcome cr =
+      run_checkpoint(cl, manager, targets, soak_ckpt_options(with_baseline));
+  if (!cr.completed) {
+    bad.push_back("checkpoint neither finished nor aborted within 40s "
+                  "virtual (deadline leak); plan: " + plan.describe());
+  }
+  fault::injector().clear();
+  // Long enough for any in-flight abort, stalled frame (<= 2s) or agent
+  // barrier watchdog (5s) to run its course.
+  cl.run_for(6 * sim::kSecond);
+  const u64 committed_delta =
+      counter_value("ckpt.commit.committed") - committed_before;
+
+  // ---- Storage invariants: no torn/orphan temp, no final image unless
+  // some checkpoint actually committed.
+  for (const std::string& path : cl.san().list("")) {
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".tmp") == 0) {
+      bad.push_back("orphan temp image on SAN: " + path);
+    }
+  }
+  if (!with_baseline && committed_delta == 0 &&
+      !cl.san().list("ckpt/").empty()) {
+    bad.push_back("final image present although nothing committed");
+  }
+
+  const bool crashed = nodes[0]->failed() || nodes[1]->failed();
+
+  if (!crashed) {
+    // Surviving cluster: whatever happened to the checkpoint, the
+    // application must be unharmed and verify every echoed byte.
+    if (cr.completed) {
+      i32 ec = wait_exit(cl, agents[1]->find_pod("client-pod"), client_pid,
+                         240 * sim::kSecond);
+      if (ec != 0) {
+        bad.push_back("application did not survive the faulty checkpoint "
+                      "(client exit " + std::to_string(ec) + ", checkpoint " +
+                      (cr.report.ok ? "ok" : "aborted") + ")");
+      }
+    }
+  } else {
+    // A node died.  Any surviving pod must have been resumed, not left
+    // suspended behind the aborted barrier.
+    const char* pod_names[] = {"server-pod", "client-pod"};
+    for (int i = 0; i < 2; ++i) {
+      if (nodes[i]->failed()) continue;
+      pod::Pod* p = agents[i]->find_pod(pod_names[i]);
+      if (p != nullptr && p->suspended()) {
+        bad.push_back(std::string(pod_names[i]) +
+                      " left suspended after the abort");
+      }
+    }
+    // The last *committed* checkpoint must restart elsewhere.  Skipped
+    // when an abort raced a partial commit past the barrier (some agents
+    // committed, some did not: the SAN then mixes epochs by design) or
+    // when the op never terminated (already reported above).
+    const bool have_images = cl.san().exists("ckpt/server") &&
+                             cl.san().exists("ckpt/client");
+    const bool consistent = cr.report.ok || committed_delta == 0;
+    if (cr.completed && have_images && consistent) {
+      (void)agents[0]->destroy_pod("server-pod");
+      (void)agents[1]->destroy_pod("client-pod");
+      cl.run_for(100 * sim::kMillisecond);
+
+      core::Manager::RestartOptions ropts;
+      ropts.deadlines.connect_us = 2 * sim::kSecond;
+      ropts.deadlines.restart_us = 10 * sim::kSecond;
+      ropts.retry.max_retries = 2;
+      ropts.retry.backoff_us = 200 * sim::kMillisecond;
+      bool rdone = false;
+      core::Manager::RestartReport rr;
+      manager.restart(
+          {
+              {agents[2]->addr(), "server-pod", "san://ckpt/server"},
+              {agents[3]->addr(), "client-pod", "san://ckpt/client"},
+          },
+          {},
+          [&](core::Manager::RestartReport r) {
+            rr = std::move(r);
+            rdone = true;
+          },
+          ropts);
+      for (int i = 0; i < 40000 && !rdone; ++i) cl.run_for(sim::kMillisecond);
+      if (!rdone) {
+        bad.push_back("restart from committed images never completed");
+      } else if (!rr.ok) {
+        bad.push_back("restart from last committed images failed: " +
+                      rr.error);
+      } else {
+        i32 ec = wait_exit(cl, agents[3]->find_pod("client-pod"), client_pid,
+                           240 * sim::kSecond);
+        if (ec != 0) {
+          bad.push_back("restored application failed verification (client "
+                        "exit " + std::to_string(ec) + ")");
+        }
+      }
+    }
+  }
+
+  // ---- Offline evidence invariants, same checks as zapc-trace
+  // --validate.  A dead agent legitimately leaves its spans open.
+  tools::ValidateOptions vopts;
+  vopts.allow_open_spans = crashed;
+  for (const std::string& v :
+       tools::validate_ops(trace.recorder().spans(), vopts)) {
+    bad.push_back("trace: " + v);
+  }
+
+  fault::injector().clear();
+  return bad;
+}
+
+}  // namespace
+}  // namespace zapc
+
+int main(int argc, char** argv) {
+  zapc::u64 nseeds = 200;
+  zapc::u64 start = 1;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      nseeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--start" && i + 1 < argc) {
+      start = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: zapc-soak [--seeds N] [--start S] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  // Postmortems from injected failures land out of the way (the soak
+  // itself only consults the in-memory span stream).
+  zapc::obs::flight().set_dir("zapc-soak-postmortems");
+
+  zapc::u64 failures = 0;
+  std::vector<zapc::u64> bad_seeds;
+  for (zapc::u64 seed = start; seed < start + nseeds; ++seed) {
+    auto problems = zapc::run_seed(seed, verbose);
+    if (problems.empty()) continue;
+    ++failures;
+    bad_seeds.push_back(seed);
+    for (const auto& p : problems) {
+      std::printf("FAIL seed %llu: %s\n",
+                  static_cast<unsigned long long>(seed), p.c_str());
+    }
+  }
+
+  if (failures == 0) {
+    std::printf("zapc-soak: %llu seeds clean (%llu..%llu)\n",
+                static_cast<unsigned long long>(nseeds),
+                static_cast<unsigned long long>(start),
+                static_cast<unsigned long long>(start + nseeds - 1));
+    return 0;
+  }
+  std::printf("zapc-soak: %llu of %llu seeds violated invariants:",
+              static_cast<unsigned long long>(failures),
+              static_cast<unsigned long long>(nseeds));
+  for (zapc::u64 s : bad_seeds) {
+    std::printf(" %llu", static_cast<unsigned long long>(s));
+  }
+  std::printf("\n");
+  return 1;
+}

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "tools/trace_analysis.h"
 
 namespace {
@@ -17,7 +18,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: zapc-trace [--validate] [--allow-network-last] "
-               "file.json...\n");
+               "[--allow-open-spans] file.json...\n");
   return 2;
 }
 
@@ -33,6 +34,8 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (arg == "--allow-network-last") {
       opts.allow_network_last = true;
+    } else if (arg == "--allow-open-spans") {
+      opts.allow_open_spans = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -62,7 +65,13 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    auto bad = zapc::tools::validate_ops(doc.value().spans, opts);
+    // A postmortem snapshots mid-failure, so its in-flight spans are
+    // legitimately open; only explicit evidence exports must close all.
+    zapc::tools::ValidateOptions file_opts = opts;
+    if (doc.value().schema == zapc::obs::kPostmortemSchemaVersion) {
+      file_opts.allow_open_spans = true;
+    }
+    auto bad = zapc::tools::validate_ops(doc.value().spans, file_opts);
     if (bad.empty()) {
       std::printf("OK %s (%zu ops)\n", f.c_str(), ops.size());
     } else {
