@@ -1,0 +1,142 @@
+// Heartbeat-plane overhead benchmark (DESIGN.md §9 acceptance).
+//
+// The live introspection plane must be effectively free: agents publish
+// HEARTBEAT/PROGRESS beacons every cadence tick while a coordinated
+// checkpoint runs, and those messages ride the same simulated network as
+// the checkpoint traffic.  This bench takes the same series of BT/NAS
+// checkpoints twice — plane off (heartbeat_us = 0, not a single beacon
+// on the wire) and plane on at the default 10 ms cadence — and reports
+// the checkpoint-time delta.  Acceptance: < 2% overhead, enforced both
+// here (exit 1) and by check_bench_regression's one-sided cap on the
+// exported overhead_pct.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+
+namespace zapc::bench {
+namespace {
+
+constexpr int kRanks = 4;        // BT needs a square rank count
+constexpr int kCheckpoints = 5;  // evenly spaced over the run
+
+struct Run {
+  double avg_total_ms = 0;
+  double avg_sync_ms = 0;
+  int checkpoints = 0;
+  u64 beacons_sent = 0;  // HEARTBEAT + PROGRESS messages published
+  bool ok = false;
+};
+
+/// Runs the BT job on `tb` with `kCheckpoints` evenly spaced coordinated
+/// checkpoints, the introspection plane at `heartbeat_us` (0 = off).
+/// `duration` is the untimed run's completion time (same for both modes).
+Run run_series(Testbed& tb, sim::Time duration, sim::Time heartbeat_us) {
+  Run out;
+  apps::JobHandle job = launch_bt(tb, kRanks);
+  auto targets = job.san_targets(heartbeat_us > 0 ? "ckpt-on/" : "ckpt-off/");
+  sim::Time interval = duration / static_cast<sim::Time>(kCheckpoints + 1);
+
+  core::Manager::CkptOptions opts;
+  opts.heartbeat_us = heartbeat_us;
+
+  u64 hb0 = obs::metrics().counter("agent.hb.sent").value;
+  u64 pg0 = obs::metrics().counter("agent.progress.sent").value;
+
+  for (int k = 0; k < kCheckpoints && !job.finished(); ++k) {
+    tb.cl.run_for(interval);
+    if (job.finished()) break;
+    auto r = tb.checkpoint_sync(targets, core::CkptMode::SNAPSHOT,
+                                /*redirect=*/false, opts);
+    if (!r.ok) return out;
+    out.avg_total_ms += static_cast<double>(r.total_us) / 1000.0;
+    out.avg_sync_ms += static_cast<double>(r.sync_us) / 1000.0;
+    ++out.checkpoints;
+  }
+  if (out.checkpoints == 0) return out;
+  out.avg_total_ms /= out.checkpoints;
+  out.avg_sync_ms /= out.checkpoints;
+  out.beacons_sent = (obs::metrics().counter("agent.hb.sent").value - hb0) +
+                     (obs::metrics().counter("agent.progress.sent").value - pg0);
+  out.ok = tb.run_to_completion(job) != 0;
+  return out;
+}
+
+void run() {
+  JsonEvidence ev("heartbeat_overhead");
+
+  sim::Time duration = 0;
+  {
+    Testbed warm(kRanks);
+    apps::JobHandle job = launch_bt(warm, kRanks);
+    duration = warm.run_to_completion(job);
+  }
+  if (duration == 0) {
+    std::printf("heartbeat_overhead: warm-up run failed\n");
+    std::exit(1);
+  }
+
+  Testbed tb_off(kRanks);
+  Testbed tb_on(kRanks);
+  Run off = run_series(tb_off, duration, 0);
+  Run on = run_series(tb_on, duration, 10 * sim::kMillisecond);
+
+  print_header(
+      "Introspection-plane overhead: BT/NAS x4, 5 coordinated "
+      "checkpoints, 10 ms beacon cadence",
+      "plane   avg_total_ms   avg_sync_ms   beacons");
+  std::printf("off  %14.2f %13.2f %9llu%s\n", off.avg_total_ms,
+              off.avg_sync_ms,
+              static_cast<unsigned long long>(off.beacons_sent),
+              off.ok ? "" : "  FAILED");
+  std::printf("on   %14.2f %13.2f %9llu%s\n", on.avg_total_ms,
+              on.avg_sync_ms,
+              static_cast<unsigned long long>(on.beacons_sent),
+              on.ok ? "" : "  FAILED");
+
+  double overhead_pct =
+      off.ok && off.avg_total_ms > 0
+          ? (on.avg_total_ms - off.avg_total_ms) / off.avg_total_ms * 100.0
+          : 1e9;
+  bool plane_used = on.beacons_sent > 0 && off.beacons_sent == 0;
+  bool ok = off.ok && on.ok && plane_used && overhead_pct < 2.0;
+  std::printf("\nCheckpoint-time overhead with the plane on: %.3f%% "
+              "(cap 2%%): %s\n",
+              overhead_pct, ok ? "ok" : "FAILED");
+
+  for (auto [mode, r] : {std::pair<const char*, Run&>{"off", off},
+                         std::pair<const char*, Run&>{"on", on}}) {
+    obs::Json row = obs::Json::object();
+    row["mode"] = mode;
+    row["checkpoints"] = r.checkpoints;
+    row["avg_total_ms"] = r.avg_total_ms;
+    row["avg_sync_ms"] = r.avg_sync_ms;
+    row["beacons_sent"] = r.beacons_sent;
+    row["ok"] = r.ok;
+    ev.add_row(std::move(row));
+  }
+  obs::Json verdict = obs::Json::object();
+  verdict["mode"] = "summary";
+  verdict["overhead_pct"] = overhead_pct;
+  // One-sided regression key.  check_bench_regression's denominator
+  // floors at 1.0, so on a fraction-valued key `--max-increase
+  // overhead_frac 2` means "at most two absolute percentage points of
+  // checkpoint-time overhead over the committed baseline" — the
+  // DESIGN.md §9 acceptance bound, not a relative-to-noise ratio.
+  // Floor at 0 so a faster-with-plane run can't loosen the cap.
+  verdict["overhead_frac"] = overhead_pct < 0 ? 0.0 : overhead_pct / 100.0;
+  verdict["cap_pct"] = 2.0;
+  verdict["ok"] = ok;
+  ev.add_row(std::move(verdict));
+
+  // The "on" run's span stream carries the beacon EVENTs under each
+  // op's root span — the causal-trace acceptance evidence.
+  ev.write(&tb_on.trace.recorder());
+  if (!ok) std::exit(1);
+}
+
+}  // namespace
+}  // namespace zapc::bench
+
+int main() { zapc::bench::run(); }

@@ -36,6 +36,11 @@ for f in bench_results/*.json; do
   ./build/tools/zapc-trace --validate --allow-network-last "$f"
 done
 
+# Introspection-plane acceptance (DESIGN.md §9): with an injected slow
+# node, the live health snapshot must name that node's pod as the
+# straggler with nonzero lag vs. the cluster median.
+./build/tools/zapc-top --snapshot --check > /dev/null
+
 # Deterministic fault-injection soak (DESIGN.md §8.4): 200 seeded
 # schedules, each asserting the failure-model invariants end-to-end.
 ./build/tools/zapc-soak --seeds 200

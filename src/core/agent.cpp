@@ -7,6 +7,7 @@
 #include "net/tcp.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/vtime.h"
 #include "util/log.h"
 
 namespace zapc::core {
@@ -67,16 +68,20 @@ net::SockAddr Agent::addr() const {
   return net::SockAddr{node_.addr(), port_};
 }
 
-template <typename Fn>
-void Agent::after(sim::Time delay, Fn&& fn) {
+sim::Time Agent::slowdown(sim::Time delay) const {
   if (fault::injector().enabled()) {
     double m = fault::injector().local_cost_multiplier(node_.name());
     if (m != 1.0) {
       delay = static_cast<sim::Time>(static_cast<double>(delay) * m);
     }
   }
+  return delay;
+}
+
+template <typename Fn>
+void Agent::after(sim::Time delay, Fn&& fn) {
   node_.engine().schedule(
-      delay,
+      slowdown(delay),
       [this, alive = std::weak_ptr<bool>(alive_),
        f = std::forward<Fn>(fn)]() mutable {
         if (auto a = alive.lock(); !a || !*a) return;
@@ -110,6 +115,71 @@ void Agent::trace_op(const std::string& what, obs::OpId op,
 obs::ObsTag Agent::tag(obs::OpId op, obs::SpanId parent) {
   return obs::ObsTag{rec(), who(), op, parent,
                      [this] { return node_.now(); }};
+}
+
+// ---- Introspection plane (DESIGN.md §9) --------------------------------------
+
+void Agent::publish_beacon(MsgChannel* mgr, obs::OpId op_id,
+                           const std::string& pod, u32 seq,
+                           const Watermark& wm, obs::SpanId parent) {
+  const sim::Time now = node_.now();
+  HeartbeatMsg hb;
+  hb.op_id = op_id;
+  hb.pod_name = pod;
+  hb.phase = wm.phase;
+  hb.t_us = now;
+  hb.seq = seq;
+  if (mgr != nullptr && mgr->open()) (void)mgr->send(encode_heartbeat(hb));
+  obs::metrics().counter("agent.hb.sent").inc();
+
+  // Watermarks accompany the beacon only while a byte-moving phase is
+  // in flight; control phases (suspend, barrier) have nothing to meter.
+  if (wm.bytes == 0 || wm.end <= wm.start) {
+    trace_op("hb seq=" + std::to_string(seq) + " phase=" + wm.phase, op_id,
+             parent);
+    return;
+  }
+  const sim::Time extent = wm.end - wm.start;
+  const sim::Time elapsed = now >= wm.end ? extent : now - wm.start;
+  ProgressMsg pm;
+  pm.op_id = op_id;
+  pm.pod_name = pod;
+  pm.phase = wm.phase;
+  pm.t_us = now;
+  pm.bytes_expected = wm.bytes;
+  pm.bytes_done = static_cast<u64>(static_cast<double>(wm.bytes) *
+                                   static_cast<double>(elapsed) /
+                                   static_cast<double>(extent));
+  pm.throughput_bps = static_cast<u64>(static_cast<double>(wm.bytes) *
+                                       static_cast<double>(sim::kSecond) /
+                                       static_cast<double>(extent));
+  pm.eta_us = now >= wm.end ? 0 : wm.end - now;
+  if (mgr != nullptr && mgr->open()) (void)mgr->send(encode_progress(pm));
+  obs::metrics().counter("agent.progress.sent").inc();
+  trace_op("hb seq=" + std::to_string(seq) + " phase=" + wm.phase +
+               " done=" + std::to_string(pm.bytes_done) + "/" +
+               std::to_string(pm.bytes_expected) + " eta=" +
+               obs::vtime_us(pm.eta_us),
+           op_id, parent);
+}
+
+void Agent::ckpt_beacon(const std::shared_ptr<CkptOp>& op) {
+  if (op->finished || op->aborted) return;
+  ++op->hb_seq;
+  publish_beacon(op->mgr, op->cmd.op_id, op->cmd.pod_name, op->hb_seq,
+                 op->wm, op->span_root);
+  // after() dilates the interval on an injected slow node — its
+  // userspace beacon loop is slow like everything else there, and each
+  // (rarer) beacon still carries an honest watermark.
+  after(op->cmd.heartbeat_us, [this, op] { ckpt_beacon(op); });
+}
+
+void Agent::restart_beacon(const std::shared_ptr<RestartOp>& op) {
+  if (op->finished) return;
+  ++op->hb_seq;
+  publish_beacon(op->mgr, op->cmd.op_id, op->cmd.pod_name, op->hb_seq,
+                 op->wm, op->span_root);
+  after(op->cmd.heartbeat_us, [this, op] { restart_beacon(op); });
 }
 
 // ---- Pod hosting ---------------------------------------------------------------
@@ -279,6 +349,11 @@ void Agent::ckpt_begin(Conn* conn, CheckpointCmd cmd) {
                                    op->span_root, op->cmd.op_id);
   }
 
+  op->wm.enter("ckpt.suspend");
+  if (op->cmd.heartbeat_us > 0) {
+    after(op->cmd.heartbeat_us, [this, op] { ckpt_beacon(op); });
+  }
+
   // Step 1: suspend the pod and block its network.
   trace_op("1: suspend pod " + op->cmd.pod_name + ", block network",
            op->cmd.op_id, op->span_root);
@@ -350,6 +425,8 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
   }
   sim::Time cost =
       costs_.standalone_ckpt_cost(bytes, op->image.processes.size());
+  op->wm.enter("ckpt.standalone", node_.now(),
+               node_.now() + slowdown(cost), bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
     obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
@@ -386,6 +463,8 @@ void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
   }
   sim::Time cost =
       costs_.net_ckpt_cost(op->image.sockets.size(), op->queued_bytes);
+  op->wm.enter("ckpt.netckpt", node_.now(), node_.now() + slowdown(cost),
+               op->queued_bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
     obs::metrics().histogram("agent.ckpt.netckpt_us").observe(cost);
@@ -434,6 +513,8 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
   }
   sim::Time cost =
       costs_.net_ckpt_cost(op->image.sockets.size(), op->queued_bytes);
+  op->wm.enter("ckpt.netckpt", node_.now(), node_.now() + slowdown(cost),
+               op->queued_bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
     obs::metrics().histogram("agent.ckpt.netckpt_us").observe(cost);
@@ -518,6 +599,8 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
 
   sim::Time cost = costs_.standalone_ckpt_cost(image_bytes,
                                                op->image.processes.size());
+  op->wm.enter("ckpt.standalone", node_.now(),
+               node_.now() + slowdown(cost), image_bytes);
   after(cost, [this, op, cost, encoded = std::move(encoded)]() mutable {
     if (op->aborted) return;
     obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
@@ -589,11 +672,14 @@ void Agent::ckpt_stream(const std::shared_ptr<CkptOp>& op,
       ckpt_standalone_done(op);
     });
   } while (sent < total);
+  // `at` now holds the full modeled serialize+stream duration.
+  op->wm.enter("ckpt.stream", t0, t0 + slowdown(at), total);
 }
 
 void Agent::ckpt_standalone_done(const std::shared_ptr<CkptOp>& op) {
   op->standalone_done = true;
   op->t_standalone_done = node_.now();
+  op->wm.enter("ckpt.barrier");
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(node_.now(), op->span_standalone);  // no-op if already closed
     op->span_barrier = r->begin_at(node_.now(), "ckpt.barrier", who(),
@@ -851,6 +937,11 @@ void Agent::restart_begin(Conn* conn, RestartCmd cmd) {
                                 op->cmd.parent_span, op->cmd.op_id);
   }
 
+  op->wm.enter("restart");
+  if (op->cmd.heartbeat_us > 0) {
+    after(op->cmd.heartbeat_us, [this, op] { restart_beacon(op); });
+  }
+
   // Apply the virtual→real location updates ("substituting the
   // destination network addresses in place of the original addresses").
   for (const auto& [vip, real] : op->cmd.locations) {
@@ -959,6 +1050,7 @@ void Agent::restart_with_image(const std::shared_ptr<RestartOp>& op,
         r->begin_at(node_.now(), "restart.connectivity", who(),
                     op->span_root, op->cmd.op_id);
   }
+  op->wm.enter("restart.connectivity");
   op->connectivity = std::make_unique<ConnectivityRestore>(
       *op->pod, op->cmd.meta, op->image.sockets, std::move(unreferenced),
       30 * sim::kSecond,
@@ -1073,6 +1165,8 @@ void Agent::restart_net_state(const std::shared_ptr<RestartOp>& op) {
 
   sim::Time cost =
       costs_.net_restore_cost(op->image.sockets.size(), restored_bytes);
+  op->wm.enter("restart.netstate", node_.now(),
+               node_.now() + slowdown(cost), restored_bytes);
   after(cost, [this, op, cost] {
     if (op->finished) return;
     op->t_net_done = node_.now();
@@ -1106,6 +1200,8 @@ void Agent::restart_standalone(const std::shared_ptr<RestartOp>& op) {
   }
   sim::Time cost = costs_.standalone_restart_cost(
       image_bytes, op->image.processes.size());
+  op->wm.enter("restart.standalone", node_.now(),
+               node_.now() + slowdown(cost), image_bytes);
   after(cost, [this, op, cost] {
     if (op->finished || op->pod == nullptr) return;
     obs::metrics().histogram("agent.restart.standalone_us").observe(cost);

@@ -63,6 +63,23 @@ class Agent {
   CkptOrdering ordering() const { return ordering_; }
 
  private:
+  /// Introspection-plane watermark for the phase currently in flight:
+  /// what the next HEARTBEAT/PROGRESS beacon reports (DESIGN.md §9).
+  /// `end` is the projected completion instant with the injected
+  /// slow-node multiplier applied, so a straggler's ETA is honest.
+  struct Watermark {
+    std::string phase;   // innermost phase name ("ckpt.standalone", ...)
+    sim::Time start = 0; // when the costed wait began
+    sim::Time end = 0;   // projected completion (0 = control phase)
+    u64 bytes = 0;       // bytes this phase moves (0 = control phase)
+    void enter(std::string p, sim::Time s = 0, sim::Time e = 0, u64 b = 0) {
+      phase = std::move(p);
+      start = s;
+      end = e;
+      bytes = b;
+    }
+  };
+
   struct CkptOp {
     CheckpointCmd cmd;
     MsgChannel* mgr = nullptr;
@@ -95,6 +112,9 @@ class Agent {
     obs::SpanId span_standalone = 0;  // "ckpt.standalone"
     obs::SpanId span_stream = 0;      // "ckpt.stream" (pipelined delivery)
     obs::SpanId span_barrier = 0;     // "ckpt.barrier"
+    // Introspection plane (cmd.heartbeat_us > 0).
+    Watermark wm;
+    u32 hb_seq = 0;  // beacons published so far
   };
 
   struct RestartOp {
@@ -112,6 +132,9 @@ class Agent {
     obs::SpanId span_connectivity = 0;  // "restart.connectivity"
     obs::SpanId span_netstate = 0;      // "restart.netstate"
     obs::SpanId span_standalone = 0;    // "restart.standalone"
+    // Introspection plane (cmd.heartbeat_us > 0).
+    Watermark wm;
+    u32 hb_seq = 0;
   };
 
   struct Conn {
@@ -170,6 +193,14 @@ class Agent {
   void restart_abort(const std::shared_ptr<RestartOp>& op,
                      const std::string& why);
 
+  // Introspection plane: periodic HEARTBEAT/PROGRESS beacons while an
+  // op runs, stamped into the causal trace under the op's root span.
+  void ckpt_beacon(const std::shared_ptr<CkptOp>& op);
+  void restart_beacon(const std::shared_ptr<RestartOp>& op);
+  void publish_beacon(MsgChannel* mgr, obs::OpId op_id,
+                      const std::string& pod, u32 seq, const Watermark& wm,
+                      obs::SpanId parent);
+
   /// Consults the fault injector for a crash-at-phase fault.  On a hit
   /// the agent "dies": the node detaches from the fabric and every
   /// pending callback of this agent is dropped.  Returns true if the
@@ -186,6 +217,9 @@ class Agent {
   /// Causal-trace context for handing down into filter/TCP/netckpt.
   obs::ObsTag tag(obs::OpId op, obs::SpanId parent);
   std::string who() const { return "agent@" + node_.name(); }
+  /// Applies the injected SLOW_NODE cost multiplier (fault/fault.h) to a
+  /// modeled delay; identity when no fault is armed.
+  sim::Time slowdown(sim::Time delay) const;
   template <typename Fn>
   void after(sim::Time delay, Fn&& fn);
 

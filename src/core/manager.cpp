@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "obs/flight.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/vtime.h"
 #include "util/log.h"
 
 namespace zapc::core {
@@ -18,6 +20,9 @@ Manager::Manager(os::Node& node, Trace* trace)
   obs::metrics().counter("ckpt.commit.committed");
   obs::metrics().counter("ckpt.commit.gc_tmp");
   obs::metrics().counter("fault.injected");
+  obs::metrics().counter("mgr.hb.received");
+  obs::metrics().counter("mgr.progress.received");
+  obs::metrics().counter("mgr.health.early_warnings");
 }
 
 Manager::~Manager() { *alive_ = false; }
@@ -38,6 +43,62 @@ sim::Time Manager::retry_delay(const RetryPolicy& p, u32 attempt) {
   for (u32 i = 1; i < attempt; ++i) d *= p.backoff_factor;
   d *= 1.0 + p.jitter * (2.0 * retry_rng_.uniform() - 1.0);
   return d < 1.0 ? 1 : static_cast<sim::Time>(d);
+}
+
+// ---- Introspection plane (DESIGN.md §9) -------------------------------------
+
+std::string Manager::health_json(obs::OpId op) const {
+  return health_.snapshot(node_.now(), op).dump(2);
+}
+
+void Manager::serve_status(u16 port) {
+  status_server_ = std::make_unique<MsgServer>(
+      node_.host_stack(), port, [this](std::unique_ptr<MsgChannel> ch) {
+        status_conns_.push_back(std::move(ch));
+        MsgChannel* raw = status_conns_.back().get();
+        raw->set_on_msg(
+            [this, raw, alive = std::weak_ptr<bool>(alive_)](Bytes msg) {
+              if (auto a = alive.lock(); a && *a) {
+                status_on_msg(raw, std::move(msg));
+              }
+            });
+        raw->set_on_closed([this, raw, alive = std::weak_ptr<bool>(alive_)] {
+          if (auto a = alive.lock(); !a || !*a) return;
+          for (auto it = status_conns_.begin(); it != status_conns_.end();
+               ++it) {
+            if (it->get() == raw) {
+              status_conns_.erase(it);
+              break;
+            }
+          }
+        });
+      });
+}
+
+void Manager::status_on_msg(MsgChannel* ch, Bytes msg) {
+  auto type = peek_type(msg);
+  if (!type || type.value() != MsgType::HEALTH_QUERY) return;
+  auto q = decode_health_query(msg);
+  if (!q) return;
+  obs::OpId op =
+      q.value().op_id != 0 ? q.value().op_id : health_.latest_op();
+  HealthSnapshotMsg reply;
+  reply.op_id = op;
+  reply.json = health_.snapshot(node_.now(), op).dump();
+  (void)ch->send(encode_health_snapshot(reply));
+}
+
+void Manager::health_drain_warnings(obs::OpId op, obs::SpanId root) {
+  for (const obs::HealthWarning& w : health_.take_warnings()) {
+    obs::metrics().counter("mgr.health.early_warnings").inc();
+    std::string what = "health.warn pod=" + w.pod + " phase=" + w.phase;
+    if (w.what == "lag") {
+      what += " lag=" + obs::vtime_us(w.lag_us);
+    } else {
+      what += " hb_age=" + obs::vtime_us(w.age_us);
+    }
+    trace_op(what, op, root);
+  }
 }
 
 // ---- Checkpoint -----------------------------------------------------------------
@@ -73,6 +134,15 @@ void Manager::ckpt_begin_attempt(std::vector<Target> targets, CkptMode mode,
         r->begin_at(op_->t_start, "mgr.ckpt", "manager", 0, op_->op_id);
     op_->span_meta_wait = r->begin_at(op_->t_start, "mgr.ckpt.meta_wait",
                                       "manager", op_->span_root, op_->op_id);
+  }
+  if (op_->opts.heartbeat_us > 0) {
+    // Stale = three missed beacons; a slow node's dilated cadence still
+    // fits (it reports, just late), a dead one does not.
+    health_.set_policy(obs::ClusterHealth::Policy{
+        op_->opts.warn_lag_us, 3 * op_->opts.heartbeat_us});
+    std::vector<std::string> pods;
+    for (const Target& t : op_->targets) pods.push_back(t.pod_name);
+    health_.op_begin(op_->op_id, "ckpt", op_->t_start, pods);
   }
   ckpt_start();
 }
@@ -152,6 +222,7 @@ void Manager::ckpt_start() {
     cmd.codec_flags = op_->opts.codec_flags;
     cmd.pipelined = op_->opts.pipelined_stream;
     cmd.barrier_wait_us = op_->opts.deadlines.agent_barrier_us;
+    cmd.heartbeat_us = op_->opts.heartbeat_us;
     (void)peer.ch->send(encode_checkpoint_cmd(cmd));
   }
 
@@ -206,6 +277,7 @@ void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
       if (!m) return ckpt_fail("bad done report", /*transient=*/false);
       peer.done_received = true;
       peer.done = m.value();
+      health_.pod_done(op_->op_id, m.value().pod_name, node_.now());
       if (!m.value().ok) {
         return ckpt_fail("agent reported failure for " +
                              m.value().pod_name + ": " + m.value().error,
@@ -214,6 +286,26 @@ void Manager::ckpt_on_msg(std::size_t idx, Bytes msg) {
       trace_op("4: 'done' received from " + peer.target.pod_name,
                op_->op_id, op_->span_done_wait);
       ckpt_maybe_finish();
+      break;
+    }
+    case MsgType::HEARTBEAT: {
+      auto m = decode_heartbeat(msg);
+      if (!m) break;
+      obs::metrics().counter("mgr.hb.received").inc();
+      health_.heartbeat(op_->op_id, m.value().pod_name, m.value().phase,
+                        node_.now());
+      health_drain_warnings(op_->op_id, op_->span_root);
+      break;
+    }
+    case MsgType::PROGRESS: {
+      auto m = decode_progress(msg);
+      if (!m) break;
+      obs::metrics().counter("mgr.progress.received").inc();
+      const ProgressMsg& p = m.value();
+      health_.progress(op_->op_id, p.pod_name, p.phase, node_.now(),
+                       p.bytes_done, p.bytes_expected, p.throughput_bps,
+                       p.eta_us);
+      health_drain_warnings(op_->op_id, op_->span_root);
       break;
     }
     default:
@@ -271,6 +363,7 @@ void Manager::ckpt_maybe_finish() {
   }
   op_->finished = true;
   ckpt_cancel_deadlines();
+  health_.op_end(op_->op_id, node_.now(), /*ok=*/true);
   CheckpointReport report = std::move(op_->report);
   report.ok = true;
   report.op_id = op_->op_id;
@@ -327,6 +420,14 @@ void Manager::ckpt_deadline_expired(const std::string& phase) {
     if (!waiting) continue;
     if (!stalled.empty()) stalled += ",";
     stalled += p.target.pod_name + "@" + p.target.agent.to_string();
+    // With the introspection plane on, say where the stalled pod last
+    // was — a deadline with an attributed phase beats a blind timeout.
+    if (const obs::PodHealth* ph =
+            health_.pod(op_->op_id, p.target.pod_name);
+        ph != nullptr && ph->beacons > 0) {
+      stalled += "(phase=" + ph->phase + " hb_age=" +
+                 obs::vtime_us(node_.now() - ph->last_seen_us) + ")";
+    }
   }
   if (stalled.empty()) return;
   obs::metrics().counter("mgr.phase.deadline_expired").inc();
@@ -352,6 +453,7 @@ void Manager::ckpt_fail(const std::string& why, bool transient) {
   if (op_ == nullptr || op_->finished) return;
   op_->finished = true;
   ckpt_cancel_deadlines();
+  health_.op_end(op_->op_id, node_.now(), /*ok=*/false);
   ZLOG_WARN("manager: checkpoint failed: " << why);
   obs::dump_op_failure(rec(), "ckpt_fail", op_->op_id, "manager", why,
                        node_.now());
@@ -541,6 +643,13 @@ void Manager::restart_begin_attempt(
   rop_->done_fn = std::move(done);
   rop_->op_id = obs::next_op_id();
   obs::metrics().counter("mgr.ops_started").inc();
+  if (rop_->opts.heartbeat_us > 0) {
+    health_.set_policy(obs::ClusterHealth::Policy{
+        rop_->opts.warn_lag_us, 3 * rop_->opts.heartbeat_us});
+    std::vector<std::string> pods;
+    for (const Target& t : rop_->targets) pods.push_back(t.pod_name);
+    health_.op_begin(rop_->op_id, "restart", rop_->t_start, pods);
+  }
   if (obs::SpanRecorder* r = rec()) {
     rop_->span_root = r->begin_at(rop_->t_start, "mgr.restart", "manager", 0,
                                   rop_->op_id);
@@ -601,6 +710,7 @@ void Manager::restart_start() {
     cmd.meta = rop_->peer_metas[i];
     cmd.locations = rop_->locations;
     cmd.stream_wait_us = rop_->opts.deadlines.agent_stream_us;
+    cmd.heartbeat_us = rop_->opts.heartbeat_us;
     (void)peer.ch->send(encode_restart_cmd(cmd));
   }
 
@@ -630,20 +740,49 @@ void Manager::restart_start() {
 void Manager::restart_on_msg(std::size_t idx, Bytes msg) {
   if (rop_ == nullptr || rop_->finished) return;
   auto type = peek_type(msg);
-  if (!type || type.value() != MsgType::RESTART_DONE) return;
-  auto m = decode_restart_done(msg);
-  if (!m) return restart_fail("bad restart report", /*transient=*/false);
-  RestartPeer& peer = rop_->peers[idx];
-  peer.done_received = true;
-  peer.done = m.value();
-  if (!m.value().ok) {
-    return restart_fail("agent reported restart failure for " +
-                            m.value().pod_name + ": " + m.value().error,
-                        m.value().transient);
+  if (!type) return;
+
+  switch (type.value()) {
+    case MsgType::RESTART_DONE: {
+      auto m = decode_restart_done(msg);
+      if (!m) return restart_fail("bad restart report", /*transient=*/false);
+      RestartPeer& peer = rop_->peers[idx];
+      peer.done_received = true;
+      peer.done = m.value();
+      health_.pod_done(rop_->op_id, m.value().pod_name, node_.now());
+      if (!m.value().ok) {
+        return restart_fail("agent reported restart failure for " +
+                                m.value().pod_name + ": " + m.value().error,
+                            m.value().transient);
+      }
+      trace_op("2: 'done' received from " + peer.target.pod_name,
+               rop_->op_id, rop_->span_root);
+      restart_maybe_finish();
+      break;
+    }
+    case MsgType::HEARTBEAT: {
+      auto m = decode_heartbeat(msg);
+      if (!m) break;
+      obs::metrics().counter("mgr.hb.received").inc();
+      health_.heartbeat(rop_->op_id, m.value().pod_name, m.value().phase,
+                        node_.now());
+      health_drain_warnings(rop_->op_id, rop_->span_root);
+      break;
+    }
+    case MsgType::PROGRESS: {
+      auto m = decode_progress(msg);
+      if (!m) break;
+      obs::metrics().counter("mgr.progress.received").inc();
+      const ProgressMsg& p = m.value();
+      health_.progress(rop_->op_id, p.pod_name, p.phase, node_.now(),
+                       p.bytes_done, p.bytes_expected, p.throughput_bps,
+                       p.eta_us);
+      health_drain_warnings(rop_->op_id, rop_->span_root);
+      break;
+    }
+    default:
+      break;
   }
-  trace_op("2: 'done' received from " + peer.target.pod_name, rop_->op_id,
-           rop_->span_root);
-  restart_maybe_finish();
 }
 
 void Manager::restart_on_closed(std::size_t idx) {
@@ -659,6 +798,7 @@ void Manager::restart_maybe_finish() {
   }
   rop_->finished = true;
   restart_cancel_deadlines();
+  health_.op_end(rop_->op_id, node_.now(), /*ok=*/true);
   RestartReport report;
   report.ok = true;
   report.op_id = rop_->op_id;
@@ -703,6 +843,12 @@ void Manager::restart_deadline_expired(const std::string& phase) {
     if (!waiting) continue;
     if (!stalled.empty()) stalled += ",";
     stalled += p.target.pod_name + "@" + p.target.agent.to_string();
+    if (const obs::PodHealth* ph =
+            health_.pod(rop_->op_id, p.target.pod_name);
+        ph != nullptr && ph->beacons > 0) {
+      stalled += "(phase=" + ph->phase + " hb_age=" +
+                 obs::vtime_us(node_.now() - ph->last_seen_us) + ")";
+    }
   }
   if (stalled.empty()) return;
   obs::metrics().counter("mgr.phase.deadline_expired").inc();
@@ -715,6 +861,7 @@ void Manager::restart_fail(const std::string& why, bool transient) {
   if (rop_ == nullptr || rop_->finished) return;
   rop_->finished = true;
   restart_cancel_deadlines();
+  health_.op_end(rop_->op_id, node_.now(), /*ok=*/false);
   ZLOG_WARN("manager: restart failed: " << why);
   obs::dump_op_failure(rec(), "restart_fail", rop_->op_id, "manager", why,
                        node_.now());

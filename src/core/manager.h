@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <set>
@@ -20,6 +21,7 @@
 #include "core/protocol.h"
 #include "core/schedule.h"
 #include "core/trace.h"
+#include "obs/health.h"
 #include "os/node.h"
 #include "util/rng.h"
 
@@ -123,6 +125,14 @@ class Manager {
     Deadlines deadlines;
     /// Whole-op retry on transient failure (disabled by default).
     RetryPolicy retry;
+    /// Introspection plane (DESIGN.md §9): agents publish
+    /// HEARTBEAT/PROGRESS beacons every this many virtual microseconds
+    /// while the op runs.  0 = plane off (no beacon traffic at all).
+    sim::Time heartbeat_us = 0;
+    /// Early-warning threshold: raise a health.warn trace event (and
+    /// count mgr.health.early_warnings) when a pod's projected finish
+    /// lags the cluster median by at least this much.  0 = off.
+    sim::Time warn_lag_us = 0;
   };
 
   /// Coordinated checkpoint of all targets.
@@ -137,6 +147,9 @@ class Manager {
   struct RestartOptions {
     Deadlines deadlines;
     RetryPolicy retry;
+    /// Introspection plane cadence + early-warning lag (see CkptOptions).
+    sim::Time heartbeat_us = 0;
+    sim::Time warn_lag_us = 0;
   };
 
   /// Coordinated restart.  `metas` must hold the checkpoint meta-data per
@@ -199,6 +212,21 @@ class Manager {
   }
 
   bool busy() const { return op_ != nullptr || rop_ != nullptr; }
+
+  // ---- Introspection plane (DESIGN.md §9) ----------------------------------
+
+  /// Live per-pod health aggregated from agent beacons.  Populated only
+  /// for ops run with `heartbeat_us > 0`.
+  const obs::ClusterHealth& health() const { return health_; }
+
+  /// zapc.obs.health.v1 snapshot of one op (0 = latest), serialized.
+  std::string health_json(obs::OpId op = 0) const;
+
+  /// Opens the queryable status endpoint: any client connecting to
+  /// `port` on this node may send HEALTH_QUERY and receives a
+  /// HEALTH_SNAPSHOT reply with the zapc.obs.health.v1 document
+  /// (tools/zapc_top.cpp is the reference client).
+  void serve_status(u16 port);
 
  private:
   struct CkptPeer {
@@ -287,6 +315,12 @@ class Manager {
   /// Backoff delay before retry number `attempt` (1-based), jittered.
   sim::Time retry_delay(const RetryPolicy& p, u32 attempt);
 
+  /// Drains ClusterHealth early warnings into counters + causal-trace
+  /// events (under the active op's root span) and the ops trace.
+  void health_drain_warnings(obs::OpId op, obs::SpanId root);
+  /// Status-endpoint connection handler (HEALTH_QUERY → HEALTH_SNAPSHOT).
+  void status_on_msg(MsgChannel* ch, Bytes msg);
+
   void trace(const std::string& what);
   /// Causally-tagged trace event for the active coordinated op.
   void trace_op(const std::string& what, obs::OpId op, obs::SpanId parent);
@@ -306,6 +340,11 @@ class Manager {
   std::set<net::IpAddr> last_redirect_covered_;
   /// Jitter source for retry backoff; fixed seed keeps runs reproducible.
   Rng retry_rng_{0x5eedD15Cull};
+  /// Live introspection-plane model fed by agent beacons.
+  obs::ClusterHealth health_;
+  /// Status endpoint (serve_status); connections live until peer close.
+  std::unique_ptr<MsgServer> status_server_;
+  std::list<std::unique_ptr<MsgChannel>> status_conns_;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

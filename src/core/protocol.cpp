@@ -57,6 +57,7 @@ Bytes encode_checkpoint_cmd(const CheckpointCmd& m) {
   e.put_u32(m.codec_flags);
   e.put_bool(m.pipelined);
   e.put_u64(m.barrier_wait_us);
+  e.put_u64(m.heartbeat_us);
   return e.take();
 }
 
@@ -82,6 +83,7 @@ Result<CheckpointCmd> decode_checkpoint_cmd(const Bytes& msg) {
   m.codec_flags = d.u32_().value_or(0);
   m.pipelined = d.bool_().value_or(false);
   m.barrier_wait_us = d.u64_().value_or(0);
+  m.heartbeat_us = d.u64_().value_or(0);
   return m;
 }
 
@@ -171,6 +173,7 @@ Bytes encode_restart_cmd(const RestartCmd& m) {
     e.put_u32(real.v);
   }
   e.put_u64(m.stream_wait_us);
+  e.put_u64(m.heartbeat_us);
   return e.take();
 }
 
@@ -193,6 +196,7 @@ Result<RestartCmd> decode_restart_cmd(const Bytes& msg) {
     m.locations.emplace_back(vip, real);
   }
   m.stream_wait_us = d.u64_().value_or(0);
+  m.heartbeat_us = d.u64_().value_or(0);
   return m;
 }
 
@@ -312,6 +316,89 @@ Result<AbortMsg> decode_abort(const Bytes& msg) {
   AbortMsg m;
   m.op_id = d.u64_().value_or(0);
   m.reason = d.string_().value_or("");
+  return m;
+}
+
+Bytes encode_heartbeat(const HeartbeatMsg& m) {
+  Encoder e = header(MsgType::HEARTBEAT);
+  e.put_u64(m.op_id);
+  e.put_string(m.pod_name);
+  e.put_string(m.phase);
+  e.put_u64(m.t_us);
+  e.put_u32(m.seq);
+  return e.take();
+}
+
+Result<HeartbeatMsg> decode_heartbeat(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::HEARTBEAT);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  HeartbeatMsg m;
+  m.op_id = d.u64_().value_or(0);
+  m.pod_name = d.string_().value_or("");
+  m.phase = d.string_().value_or("");
+  m.t_us = d.u64_().value_or(0);
+  m.seq = d.u32_().value_or(0);
+  return m;
+}
+
+Bytes encode_progress(const ProgressMsg& m) {
+  Encoder e = header(MsgType::PROGRESS);
+  e.put_u64(m.op_id);
+  e.put_string(m.pod_name);
+  e.put_string(m.phase);
+  e.put_u64(m.t_us);
+  e.put_u64(m.bytes_done);
+  e.put_u64(m.bytes_expected);
+  e.put_u64(m.throughput_bps);
+  e.put_u64(m.eta_us);
+  return e.take();
+}
+
+Result<ProgressMsg> decode_progress(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::PROGRESS);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  ProgressMsg m;
+  m.op_id = d.u64_().value_or(0);
+  m.pod_name = d.string_().value_or("");
+  m.phase = d.string_().value_or("");
+  m.t_us = d.u64_().value_or(0);
+  m.bytes_done = d.u64_().value_or(0);
+  m.bytes_expected = d.u64_().value_or(0);
+  m.throughput_bps = d.u64_().value_or(0);
+  m.eta_us = d.u64_().value_or(0);
+  return m;
+}
+
+Bytes encode_health_query(const HealthQuery& m) {
+  Encoder e = header(MsgType::HEALTH_QUERY);
+  e.put_u64(m.op_id);
+  return e.take();
+}
+
+Result<HealthQuery> decode_health_query(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::HEALTH_QUERY);
+  if (!dr) return dr.status();
+  HealthQuery m;
+  m.op_id = dr.value().u64_().value_or(0);
+  return m;
+}
+
+Bytes encode_health_snapshot(const HealthSnapshotMsg& m) {
+  Encoder e = header(MsgType::HEALTH_SNAPSHOT);
+  e.put_u64(m.op_id);
+  e.put_string(m.json);
+  return e.take();
+}
+
+Result<HealthSnapshotMsg> decode_health_snapshot(const Bytes& msg) {
+  auto dr = open_msg(msg, MsgType::HEALTH_SNAPSHOT);
+  if (!dr) return dr.status();
+  Decoder& d = dr.value();
+  HealthSnapshotMsg m;
+  m.op_id = d.u64_().value_or(0);
+  m.json = d.string_().value_or("");
   return m;
 }
 

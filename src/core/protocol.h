@@ -42,6 +42,12 @@ enum class MsgType : u8 {
   STREAM_CLOSE = 9,
   REDIRECT_DATA = 10,
   ABORT = 11,
+  // Introspection plane (DESIGN.md §9).  Old peers fall through their
+  // `default:` arms on these, so mixed versions interoperate.
+  HEARTBEAT = 12,
+  PROGRESS = 13,
+  HEALTH_QUERY = 14,
+  HEALTH_SNAPSHOT = 15,
 };
 
 /// What happens to the pod after its checkpoint completes (paper §4: "the
@@ -76,6 +82,9 @@ struct CheckpointCmd {
   /// CONTINUE has not arrived this long after the standalone checkpoint
   /// finished.  0 = wait forever.
   u64 barrier_wait_us = 0;
+  /// Introspection plane: publish HEARTBEAT/PROGRESS every this many
+  /// virtual microseconds while the op runs.  0 = plane off.
+  u64 heartbeat_us = 0;
 };
 
 struct MetaReport {
@@ -122,6 +131,8 @@ struct RestartCmd {
   /// stream:// sources: fail the restart if the checkpoint stream has
   /// not fully arrived this long after the command.  0 = wait forever.
   u64 stream_wait_us = 0;
+  /// Introspection plane cadence (see CheckpointCmd).  0 = off.
+  u64 heartbeat_us = 0;
 };
 
 struct RestartDone {
@@ -165,6 +176,45 @@ struct AbortMsg {
   std::string reason;
 };
 
+// ---- Introspection plane (DESIGN.md §9) -------------------------------------
+
+/// Periodic liveness beacon from an agent serving a coordinated op:
+/// which phase the pod is in and that the agent is still making
+/// progress.  Cadence comes from the command's `heartbeat_us`.
+struct HeartbeatMsg {
+  u64 op_id = 0;
+  std::string pod_name;
+  std::string phase;  // innermost open phase ("ckpt.standalone", ...)
+  u64 t_us = 0;       // agent's virtual clock at publication
+  u32 seq = 0;        // per-op beacon sequence number
+};
+
+/// Streaming watermark accompanying a heartbeat while a costed phase is
+/// in flight: how far the byte-moving work has progressed and the
+/// agent's cost-model ETA (core/cost_model.h).
+struct ProgressMsg {
+  u64 op_id = 0;
+  std::string pod_name;
+  std::string phase;
+  u64 t_us = 0;
+  u64 bytes_done = 0;
+  u64 bytes_expected = 0;
+  u64 throughput_bps = 0;  // modeled instantaneous throughput
+  u64 eta_us = 0;          // remaining virtual time per the cost model
+};
+
+/// Status endpoint: any client may ask the Manager for the live
+/// ClusterHealth snapshot of one op (0 = latest).
+struct HealthQuery {
+  u64 op_id = 0;
+};
+
+/// Reply: the zapc.obs.health.v1 document, serialized.
+struct HealthSnapshotMsg {
+  u64 op_id = 0;
+  std::string json;
+};
+
 // ---- Encoding ----------------------------------------------------------------
 
 Bytes encode_checkpoint_cmd(const CheckpointCmd& m);
@@ -178,6 +228,10 @@ Bytes encode_stream_chunk(const StreamChunk& m);
 Bytes encode_stream_close(const StreamClose& m);
 Bytes encode_redirect_data(const RedirectData& m);
 Bytes encode_abort(const AbortMsg& m);
+Bytes encode_heartbeat(const HeartbeatMsg& m);
+Bytes encode_progress(const ProgressMsg& m);
+Bytes encode_health_query(const HealthQuery& m = {});
+Bytes encode_health_snapshot(const HealthSnapshotMsg& m);
 
 /// Peeks the type of an encoded message.
 Result<MsgType> peek_type(const Bytes& msg);
@@ -193,5 +247,9 @@ Result<StreamChunk> decode_stream_chunk(const Bytes& msg);
 Result<StreamClose> decode_stream_close(const Bytes& msg);
 Result<RedirectData> decode_redirect_data(const Bytes& msg);
 Result<AbortMsg> decode_abort(const Bytes& msg);
+Result<HeartbeatMsg> decode_heartbeat(const Bytes& msg);
+Result<ProgressMsg> decode_progress(const Bytes& msg);
+Result<HealthQuery> decode_health_query(const Bytes& msg);
+Result<HealthSnapshotMsg> decode_health_snapshot(const Bytes& msg);
 
 }  // namespace zapc::core

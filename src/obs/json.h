@@ -42,6 +42,10 @@ inline constexpr const char* kSchemaVersion = "zapc.obs.v1";
 inline constexpr const char* kPostmortemSchemaVersion =
     "zapc.obs.postmortem.v1";
 
+/// Schema of the live ClusterHealth snapshots (obs/health.h) served by
+/// the Manager's status endpoint and rendered by zapc-top.
+inline constexpr const char* kHealthSchemaVersion = "zapc.obs.health.v1";
+
 class Json {
  public:
   enum class Type { NUL, BOOL, NUM, STR, ARR, OBJ };

@@ -126,6 +126,14 @@ inline void ensure_core_metrics() {
   // Image codec savings (zero-block elision, content dedup).
   m.counter("ckpt.codec.zero_saved_bytes");
   m.counter("ckpt.codec.dedup_saved_bytes");
+  // Live introspection plane (DESIGN.md §9): beacon traffic on both
+  // ends, early warnings, and the per-report lag spread.
+  m.counter("agent.hb.sent");
+  m.counter("agent.progress.sent");
+  m.counter("mgr.hb.received");
+  m.counter("mgr.progress.received");
+  m.counter("mgr.health.early_warnings");
+  m.histogram("health.lag_us");
 }
 
 }  // namespace zapc::obs::stats

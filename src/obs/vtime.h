@@ -1,0 +1,29 @@
+// Shared rendering of virtual-time values.
+//
+// Every human-facing surface stamps instants/durations the same way —
+// the log prefix (util/log.cpp), the offline timeline renderer
+// (tools/trace_analysis.cpp), trace event text, and the zapc-top table
+// all format through these helpers so "@1234us" means the same thing
+// everywhere.  Header-only: util sits below obs in the library stack,
+// so log.cpp can include this without a link dependency on zapc_obs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/types.h"
+
+namespace zapc::obs {
+
+/// "1234us" — a duration or instant in virtual microseconds.
+inline std::string vtime_us(u64 t) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lluus",
+                static_cast<unsigned long long>(t));
+  return buf;
+}
+
+/// "@1234us" — an instant stamp (log prefixes, timelines, tables).
+inline std::string vtime_stamp(u64 t) { return "@" + vtime_us(t); }
+
+}  // namespace zapc::obs

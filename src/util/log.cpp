@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/vtime.h"
+
 namespace zapc {
 namespace {
 
@@ -86,8 +88,8 @@ void clear_log_sink(const void* owner) {
 void log_line(LogLevel level, const std::string& msg) {
   char prefix[48];
   if (g_clock_fn != nullptr) {
-    std::snprintf(prefix, sizeof(prefix), "[%s @%lluus]", level_name(level),
-                  static_cast<unsigned long long>(g_clock_fn(g_clock_ctx)));
+    std::snprintf(prefix, sizeof(prefix), "[%s %s]", level_name(level),
+                  obs::vtime_stamp(g_clock_fn(g_clock_ctx)).c_str());
   } else {
     std::snprintf(prefix, sizeof(prefix), "[%s]", level_name(level));
   }

@@ -390,6 +390,77 @@ TEST(Flight, RingIsBoundedAndUpdatesSpansOnClose) {
   EXPECT_LE(fr.size(), 9u);  // log lines ride in their own deque
 }
 
+TEST(Flight, RingWraparoundEvictsOldestAndPostmortemStaysWellFormed) {
+  FlightRecorder fr;
+  fr.set_dir(::testing::TempDir() + "zapc_flight_wrap");
+  fr.set_capacity(32);
+
+  // A long-lived span opened before the flood: evicted once the ring
+  // wraps.
+  SpanRecord early;
+  early.id = 1;
+  early.name = "ckpt";
+  early.who = "agent@n1";
+  early.start = 5;
+  early.open = true;
+  fr.note_span(early);
+
+  // Sustained event load, far beyond capacity (a beacon storm).
+  constexpr u32 kEvents = 1000;
+  for (u32 i = 0; i < kEvents; ++i) {
+    SpanRecord e;
+    e.id = i + 2;
+    e.kind = SpanKind::EVENT;
+    e.name = "hb seq=" + std::to_string(i);
+    e.who = "agent@n1";
+    e.start = 10 + i;
+    e.op = 42;
+    fr.note_span(e);
+  }
+  EXPECT_EQ(fr.size(), 32u);
+
+  // The evicted span's close cannot update in place any more; it must
+  // append as a fresh (closed) record, still bounded.
+  SpanRecord closed = early;
+  closed.open = false;
+  closed.end = 5000;
+  fr.note_span(closed);
+  EXPECT_EQ(fr.size(), 32u);
+
+  std::string path = fr.dump_postmortem("ckpt_fail", 42, "manager",
+                                        "ckpt.stream", "beacon storm", 5000);
+  ASSERT_FALSE(path.empty());
+  auto parsed = json_parse(fr.last_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const Json& doc = parsed.value();
+  EXPECT_EQ(doc.find("schema")->str(), kPostmortemSchemaVersion);
+
+  // The spans section holds exactly the ring: the newest events plus the
+  // re-appended close, and none of the flood's early entries.
+  const Json* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 32u);
+  bool saw_oldest = false, saw_newest = false, saw_closed = false;
+  for (const Json& s : spans->items()) {
+    const std::string& name = s.find("name")->str();
+    if (name == "hb seq=0") saw_oldest = true;
+    if (name == "hb seq=" + std::to_string(kEvents - 1)) saw_newest = true;
+    if (name == "ckpt") {
+      saw_closed = true;
+      EXPECT_EQ(s.find("end_us")->num_u64(), 5000u);
+    }
+  }
+  EXPECT_FALSE(saw_oldest);
+  EXPECT_TRUE(saw_newest);
+  EXPECT_TRUE(saw_closed);
+
+  // The round-trips the analyzer does must survive the wrap: every
+  // retained record parses back into a SpanRecord.
+  auto recs = spans_from_json(*spans);
+  ASSERT_TRUE(recs.is_ok()) << recs.status().to_string();
+  EXPECT_EQ(recs.value().size(), 32u);
+}
+
 TEST(Flight, PostmortemDumpHasSchemaOpAndPhase) {
   FlightRecorder fr;
   fr.set_dir(::testing::TempDir() + "zapc_flight_test");

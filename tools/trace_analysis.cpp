@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/vtime.h"
 
 namespace zapc::tools {
 namespace {
@@ -130,8 +131,8 @@ std::string render_op_timeline(const OpTrace& op) {
   }
 
   std::ostringstream out;
-  out << "op " << op.op << "  [" << t0 << "us .. " << t1 << "us]  ("
-      << op.records.size() << " records)\n";
+  out << "op " << op.op << "  [" << obs::vtime_us(t0) << " .. "
+      << obs::vtime_us(t1) << "]  (" << op.records.size() << " records)\n";
 
   std::size_t who_w = 3;
   for (const auto* r : op.records) who_w = std::max(who_w, r->who.size());
@@ -146,17 +147,17 @@ std::string render_op_timeline(const OpTrace& op) {
           int b = r->open ? kBarWidth - 1 : col(r->end);
           for (int i = a; i <= b; ++i) bar[i] = '=';
         }
-        char times[40];
+        char times[48];
         if (r->kind == obs::SpanKind::EVENT) {
-          std::snprintf(times, sizeof(times), "@%-9llu          ",
-                        static_cast<unsigned long long>(r->start));
+          std::snprintf(times, sizeof(times), "%-20s",
+                        obs::vtime_stamp(r->start).c_str());
         } else if (r->open) {
-          std::snprintf(times, sizeof(times), "%9llu..     OPEN",
-                        static_cast<unsigned long long>(r->start));
+          std::snprintf(times, sizeof(times), "%9s..     OPEN",
+                        obs::vtime_us(r->start).c_str());
         } else {
-          std::snprintf(times, sizeof(times), "%9llu..%-9llu",
-                        static_cast<unsigned long long>(r->start),
-                        static_cast<unsigned long long>(r->end));
+          std::snprintf(times, sizeof(times), "%9s..%-9s",
+                        obs::vtime_us(r->start).c_str(),
+                        obs::vtime_us(r->end).c_str());
         }
         out << "  [" << bar << "] " << times << " ";
         out.width(static_cast<std::streamsize>(who_w));
@@ -170,11 +171,11 @@ std::string render_op_timeline(const OpTrace& op) {
   return out.str();
 }
 
-std::vector<std::string> validate_ops(
+std::vector<Violation> validate_ops_detailed(
     const std::vector<obs::SpanRecord>& spans, const ValidateOptions& opts) {
-  std::vector<std::string> bad;
+  std::vector<Violation> out;
   for (const OpTrace& t : group_by_op(spans)) {
-    const std::string tag = "op " + std::to_string(t.op) + ": ";
+    std::vector<std::string> bad;
 
     // ---- Exactly one barrier (Manager 'continue') per checkpoint op.
     bool is_ckpt = false;
@@ -199,7 +200,7 @@ std::vector<std::string> validate_ops(
       if (starts_with(r->name, "op.fail")) has_op_fail = true;
     }
     if (is_ckpt && !aborted && continues.size() != 1) {
-      bad.push_back(tag + "expected exactly one mgr.continue, saw " +
+      bad.push_back("expected exactly one mgr.continue, saw " +
                     std::to_string(continues.size()));
     }
 
@@ -207,9 +208,8 @@ std::vector<std::string> validate_ops(
     // EVENT (the marker obs::dump_op_failure emits next to the
     // flight-recorder postmortem) must accompany the abort markers.
     if (aborted && !has_op_fail) {
-      bad.push_back(tag +
-                    "op aborted but no op.fail postmortem marker was "
-                    "recorded");
+      bad.push_back(
+          "op aborted but no op.fail postmortem marker was recorded");
     }
 
     // ---- No op-tagged span left open at end-of-trace.  An open span in
@@ -218,7 +218,7 @@ std::vector<std::string> validate_ops(
     if (!opts.allow_open_spans) {
       for (const auto* r : t.records) {
         if (r->kind == obs::SpanKind::SPAN && r->open) {
-          bad.push_back(tag + r->who + ": span '" + r->name +
+          bad.push_back(r->who + ": span '" + r->name +
                         "' still open at end-of-trace");
         }
       }
@@ -239,7 +239,7 @@ std::vector<std::string> validate_ops(
         auto it = standalone.find(who);
         if (it == standalone.end() || net->open) continue;
         if (net->end > it->second->start) {
-          bad.push_back(tag + who +
+          bad.push_back(who +
                         ": standalone checkpoint started before the "
                         "network checkpoint finished (NETWORK_FIRST "
                         "violated)");
@@ -254,16 +254,16 @@ std::vector<std::string> validate_ops(
         continue;
       }
       if (cont == nullptr) {
-        bad.push_back(tag + r->who + " resumed with no mgr.continue");
+        bad.push_back(r->who + " resumed with no mgr.continue");
         continue;
       }
       if (r->start < cont->start) {
-        bad.push_back(tag + r->who + " resumed at " +
-                      std::to_string(r->start) + "us, before mgr.continue"
-                      " at " + std::to_string(cont->start) + "us");
+        bad.push_back(r->who + " resumed at " + obs::vtime_us(r->start) +
+                      ", before mgr.continue at " +
+                      obs::vtime_us(cont->start));
       }
       if (r->parent != cont->id) {
-        bad.push_back(tag + r->who +
+        bad.push_back(r->who +
                       ": agent.resume not parented under mgr.continue");
       }
     }
@@ -288,15 +288,33 @@ std::vector<std::string> validate_ops(
       for (const auto& b : restored) {
         if (a.local != b.remote || a.remote != b.local) continue;
         if (a.recv < b.acked) {
-          bad.push_back(tag + a.local + " restored recv=" +
+          bad.push_back(a.local + " restored recv=" +
                         std::to_string(a.recv) + " < peer acked=" +
                         std::to_string(b.acked) +
                         " (acknowledged data would be lost)");
         }
       }
     }
+    for (std::string& m : bad) out.push_back(Violation{t.op, std::move(m)});
   }
-  return bad;
+  return out;
+}
+
+std::vector<std::string> validate_ops(
+    const std::vector<obs::SpanRecord>& spans, const ValidateOptions& opts) {
+  std::vector<std::string> out;
+  for (const Violation& v : validate_ops_detailed(spans, opts)) {
+    out.push_back("op " + std::to_string(v.op) + ": " + v.message);
+  }
+  return out;
+}
+
+obs::Json violation_to_json(const Violation& v, const std::string& file) {
+  obs::Json j = obs::Json::object();
+  j["file"] = file;
+  j["op"] = v.op;
+  j["message"] = v.message;
+  return j;
 }
 
 }  // namespace zapc::tools

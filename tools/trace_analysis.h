@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/span.h"
 #include "util/status.h"
 
@@ -68,10 +69,25 @@ struct ValidateOptions {
   bool allow_open_spans = false;
 };
 
-/// Runs every offline invariant check over the stream; returns
-/// human-readable violations (empty means the evidence is consistent).
+/// One invariant violation, attributed to its coordinated operation.
+struct Violation {
+  obs::OpId op = 0;
+  std::string message;
+};
+
+/// Runs every offline invariant check over the stream (empty means the
+/// evidence is consistent).
+std::vector<Violation> validate_ops_detailed(
+    const std::vector<obs::SpanRecord>& spans,
+    const ValidateOptions& opts = {});
+
+/// Same checks as human-readable "op N: <message>" strings.
 std::vector<std::string> validate_ops(
     const std::vector<obs::SpanRecord>& spans,
     const ValidateOptions& opts = {});
+
+/// The zapc-trace --json line format: one compact object per violation,
+/// `{"file": ..., "op": N, "message": ...}`.
+obs::Json violation_to_json(const Violation& v, const std::string& file);
 
 }  // namespace zapc::tools

@@ -2,6 +2,7 @@
 //
 //   zapc-trace FILE...                render per-op ASCII causal timelines
 //   zapc-trace --validate FILE...     re-check protocol invariants offline
+//   zapc-trace --validate --json ...  one JSON violation object per line
 //
 // Accepts bench evidence (zapc.obs.v1, bench_results/*.json) and
 // flight-recorder postmortems (zapc.obs.postmortem.v1).  Exit codes:
@@ -17,8 +18,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: zapc-trace [--validate] [--allow-network-last] "
-               "[--allow-open-spans] file.json...\n");
+               "usage: zapc-trace [--validate [--json]] "
+               "[--allow-network-last] [--allow-open-spans] file.json...\n");
   return 2;
 }
 
@@ -26,12 +27,15 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool validate = false;
+  bool json = false;
   zapc::tools::ValidateOptions opts;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--validate") {
       validate = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--allow-network-last") {
       opts.allow_network_last = true;
     } else if (arg == "--allow-open-spans") {
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) return usage();
+  if (json && !validate) return usage();
 
   int rc = 0;
   for (const std::string& f : files) {
@@ -71,13 +76,24 @@ int main(int argc, char** argv) {
     if (doc.value().schema == zapc::obs::kPostmortemSchemaVersion) {
       file_opts.allow_open_spans = true;
     }
-    auto bad = zapc::tools::validate_ops(doc.value().spans, file_opts);
-    if (bad.empty()) {
+    auto bad = zapc::tools::validate_ops_detailed(doc.value().spans,
+                                                  file_opts);
+    if (json) {
+      // Machine-readable mode: one compact violation object per line,
+      // nothing else on stdout (clean files emit no lines at all).
+      if (!bad.empty()) rc = 1;
+      for (const auto& v : bad) {
+        std::printf("%s\n",
+                    zapc::tools::violation_to_json(v, f).dump().c_str());
+      }
+    } else if (bad.empty()) {
       std::printf("OK %s (%zu ops)\n", f.c_str(), ops.size());
     } else {
       rc = 1;
       for (const auto& v : bad) {
-        std::printf("FAIL %s: %s\n", f.c_str(), v.c_str());
+        std::printf("FAIL %s: op %llu: %s\n", f.c_str(),
+                    static_cast<unsigned long long>(v.op),
+                    v.message.c_str());
       }
     }
   }
