@@ -23,6 +23,7 @@
 #include "core/agent.h"
 #include "core/manager.h"
 #include "obs/json.h"
+#include "obs/ledger.h"
 #include "obs/stats.h"
 #include "os/cluster.h"
 
@@ -42,6 +43,10 @@ struct Testbed {
   std::vector<std::unique_ptr<core::Agent>> agent_store;
   std::unique_ptr<core::Manager> manager;
   core::Trace trace;
+  /// In-memory op ledger (DESIGN.md §10): one entry per coordinated op
+  /// this testbed's Manager ran.  Benches can persist it next to their
+  /// evidence with `ledger.write_file("bench_results/<name>.ledger.jsonl")`.
+  obs::Ledger ledger;
 
   explicit Testbed(int n, bool dual_cpu = false) {
     // RAII spans recorded on this testbed's trace stamp from its virtual
@@ -58,6 +63,7 @@ struct Testbed {
       agents.push_back(agent_store.back().get());
     }
     manager = std::make_unique<core::Manager>(*mgr_node, &trace);
+    manager->set_ledger(&ledger);
   }
 
   /// Runs until the job completes; returns virtual completion time (us),

@@ -69,6 +69,12 @@ void run() {
   row["total_ms"] = static_cast<double>(report.total_us) / 1000.0;
   ev.add_row(std::move(row));
   ev.write(&tb.trace.recorder());
+  // Persist the op ledger next to the evidence: the committed baseline
+  // zapc-report --check runs against in CI (DESIGN.md §10).
+  std::string lpath = "bench_results/fig2_timeline.ledger.jsonl";
+  if (tb.ledger.write_file(lpath).is_ok()) {
+    std::printf("[evidence] %s\n", lpath.c_str());
+  }
 }
 
 }  // namespace

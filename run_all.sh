@@ -41,6 +41,11 @@ done
 # straggler with nonzero lag vs. the cluster median.
 ./build/tools/zapc-top --snapshot --check > /dev/null
 
+# Downtime-attribution acceptance (DESIGN.md §10): every op in the
+# fresh evidence must attribute cleanly, with critical-path segments
+# summing to the measured downtime within 1%.
+./build/tools/zapc-report --check bench_results > /dev/null
+
 # Deterministic fault-injection soak (DESIGN.md §8.4): 200 seeded
 # schedules, each asserting the failure-model invariants end-to-end.
 ./build/tools/zapc-soak --seeds 200

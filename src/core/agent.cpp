@@ -409,9 +409,8 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
-  obs::metrics()
-      .histogram("agent.ckpt.suspend_us")
-      .observe(node_.now() - op->t_start);
+  op->suspend_us = node_.now() - op->t_start;
+  obs::metrics().histogram("agent.ckpt.suspend_us").observe(op->suspend_us);
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(node_.now(), op->span_suspend);
     op->span_standalone = r->begin_at(node_.now(), "ckpt.standalone", who(),
@@ -429,6 +428,7 @@ void Agent::ckpt_standalone_pre(const std::shared_ptr<CkptOp>& op) {
                node_.now() + slowdown(cost), bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
+    op->standalone_us = cost;
     obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
     if (obs::SpanRecorder* r = rec()) {
       r->end_at(node_.now(), op->span_standalone);
@@ -467,6 +467,7 @@ void Agent::ckpt_network_post(const std::shared_ptr<CkptOp>& op) {
                op->queued_bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
+    op->netckpt_us = cost;
     obs::metrics().histogram("agent.ckpt.netckpt_us").observe(cost);
     if (obs::SpanRecorder* r = rec()) {
       r->end_at(node_.now(), op->span_netckpt);
@@ -490,9 +491,8 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
   pod::Pod* pod = find_pod(op->cmd.pod_name);
   if (pod == nullptr) return ckpt_abort(op, "pod vanished");
 
-  obs::metrics()
-      .histogram("agent.ckpt.suspend_us")
-      .observe(node_.now() - op->t_start);
+  op->suspend_us = node_.now() - op->t_start;
+  obs::metrics().histogram("agent.ckpt.suspend_us").observe(op->suspend_us);
   if (obs::SpanRecorder* r = rec()) {
     r->end_at(node_.now(), op->span_suspend);
     op->span_netckpt = r->begin_at(node_.now(), "ckpt.netckpt", who(),
@@ -517,6 +517,7 @@ void Agent::ckpt_network(const std::shared_ptr<CkptOp>& op) {
                op->queued_bytes);
   after(cost, [this, op, cost] {
     if (op->aborted) return;
+    op->netckpt_us = cost;
     obs::metrics().histogram("agent.ckpt.netckpt_us").observe(cost);
     if (obs::SpanRecorder* r = rec()) {
       r->end_at(node_.now(), op->span_netckpt);
@@ -603,6 +604,7 @@ void Agent::ckpt_standalone(const std::shared_ptr<CkptOp>& op) {
                node_.now() + slowdown(cost), image_bytes);
   after(cost, [this, op, cost, encoded = std::move(encoded)]() mutable {
     if (op->aborted) return;
+    op->standalone_us = cost;
     obs::metrics().histogram("agent.ckpt.standalone_us").observe(cost);
     trace_op("3: standalone checkpoint done for " + op->cmd.pod_name + " (" +
                  std::to_string(encoded.size()) + " bytes)" +
@@ -659,8 +661,9 @@ void Agent::ckpt_stream(const std::shared_ptr<CkptOp>& op,
       obs::metrics()
           .histogram("agent.ckpt.stream_us")
           .observe(node_.now() - t0);
+      op->standalone_us = node_.now() - t0;
       obs::metrics().histogram("agent.ckpt.standalone_us")
-          .observe(node_.now() - t0);
+          .observe(op->standalone_us);
       if (obs::SpanRecorder* r = rec()) {
         r->end_at(node_.now(), op->span_stream);
       }
@@ -874,6 +877,10 @@ void Agent::ckpt_maybe_finish(const std::shared_ptr<CkptOp>& op) {
   done.total_us = node_.now() - op->t_start;
   done.logical_bytes = op->logical_bytes;
   done.delta_seq = op->is_delta ? op->image.header.delta_seq : 0;
+  done.suspend_us = op->suspend_us;
+  done.netckpt_us = op->netckpt_us;
+  done.standalone_us = op->standalone_us;
+  done.barrier_us = node_.now() - op->t_standalone_done;
   (void)op->mgr->send(encode_ckpt_done(done));
 }
 
@@ -919,6 +926,15 @@ void Agent::ckpt_abort(const std::shared_ptr<CkptOp>& op,
     done.ok = false;
     done.error = why;
     done.transient = transient;
+    // Partial phase durations: what the pod HAD spent when it died, so
+    // aborted ledger lines still carry attribution-grade timings.
+    done.total_us = node_.now() - op->t_start;
+    done.suspend_us = op->suspend_us;
+    done.netckpt_us = op->netckpt_us;
+    done.standalone_us = op->standalone_us;
+    done.barrier_us = op->t_standalone_done > 0
+                          ? node_.now() - op->t_standalone_done
+                          : 0;
     (void)op->mgr->send(encode_ckpt_done(done));
   }
 }
@@ -1237,6 +1253,10 @@ void Agent::restart_finish(const std::shared_ptr<RestartOp>& op, Status st) {
       op->t_conn_done > op->t_start ? op->t_conn_done - op->t_start : 0;
   done.net_restore_us =
       op->t_net_done > op->t_conn_done ? op->t_net_done - op->t_conn_done : 0;
+  done.standalone_us =
+      op->t_net_done > 0 && node_.now() > op->t_net_done
+          ? node_.now() - op->t_net_done
+          : 0;
   trace_op("5: restart of " + op->cmd.pod_name +
                (st.is_ok() ? " done" : " FAILED: " + st.to_string()),
            op->cmd.op_id, op->span_root);

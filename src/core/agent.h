@@ -115,6 +115,11 @@ class Agent {
     // Introspection plane (cmd.heartbeat_us > 0).
     Watermark wm;
     u32 hb_seq = 0;  // beacons published so far
+    // Per-phase durations as measured (shipped in CKPT_DONE for the
+    // Manager's op ledger); 0 for phases not reached.
+    u64 suspend_us = 0;
+    u64 netckpt_us = 0;
+    u64 standalone_us = 0;
   };
 
   struct RestartOp {

@@ -23,6 +23,8 @@ Manager::Manager(os::Node& node, Trace* trace)
   obs::metrics().counter("mgr.hb.received");
   obs::metrics().counter("mgr.progress.received");
   obs::metrics().counter("mgr.health.early_warnings");
+  obs::metrics().counter("mgr.ledger.appends");
+  obs::metrics().counter("mgr.ledger.attrib_failures");
 }
 
 Manager::~Manager() { *alive_ = false; }
@@ -35,6 +37,101 @@ void Manager::trace_op(const std::string& what, obs::OpId op,
                        obs::SpanId parent) {
   if (trace_ != nullptr) {
     trace_->add(node_.now(), "manager", what, parent, op);
+  }
+}
+
+// ---- Op ledger (DESIGN.md §10) ----------------------------------------------
+
+void Manager::ledger_attribute(obs::LedgerEntry& e) {
+  obs::SpanRecorder* r = rec();
+  if (r == nullptr) return;  // tracing off: no tree to attribute
+  auto attrib = obs::attribute_op(r->spans(), e.op);
+  if (!attrib.is_ok()) {
+    obs::metrics().counter("mgr.ledger.attrib_failures").inc();
+    return;
+  }
+  e.attrib = std::move(attrib).value();
+  e.has_attrib = true;
+}
+
+void Manager::ledger_ckpt(const std::string& outcome,
+                          const std::string& error, bool transient,
+                          bool will_retry) {
+  if (ledger_ == nullptr || op_ == nullptr) return;
+  obs::LedgerEntry e;
+  e.op = op_->op_id;
+  e.kind = "ckpt";
+  e.outcome = outcome;
+  e.error = error;
+  e.transient = transient;
+  e.will_retry = will_retry;
+  e.attempt = op_->attempt;
+  e.start_us = op_->t_start;
+  e.end_us = node_.now();
+  e.downtime_us = node_.now() - op_->t_start;
+  for (const CkptPeer& p : op_->peers) {
+    if (!p.done_received) continue;
+    e.pods++;
+    e.image_bytes = std::max(e.image_bytes, p.done.image_bytes);
+    e.network_bytes = std::max(e.network_bytes, p.done.network_bytes);
+    e.logical_bytes = std::max(e.logical_bytes, p.done.logical_bytes);
+    // Slowest pod per phase: the ledger's no-tracing attribution floor.
+    auto slowest = [&](const char* name, u64 us) {
+      if (us > 0) {
+        e.phase_us[name] = std::max(e.phase_us[name], obs::Time{us});
+      }
+    };
+    slowest("suspend", p.done.suspend_us);
+    slowest("netckpt", p.done.netckpt_us);
+    slowest("standalone", p.done.standalone_us);
+    slowest("barrier", p.done.barrier_us);
+  }
+  obs::Straggler s = health_.straggler(op_->op_id);
+  e.straggler_pod = s.pod;
+  e.straggler_phase = s.phase;
+  e.straggler_lag_us = s.lag_us;
+  ledger_attribute(e);
+  obs::metrics().counter("mgr.ledger.appends").inc();
+  if (Status st = ledger_->append(e); !st) {
+    ZLOG_WARN("manager: ledger append failed: " << st.to_string());
+  }
+}
+
+void Manager::ledger_restart(const std::string& outcome,
+                             const std::string& error, bool transient,
+                             bool will_retry) {
+  if (ledger_ == nullptr || rop_ == nullptr) return;
+  obs::LedgerEntry e;
+  e.op = rop_->op_id;
+  e.kind = "restart";
+  e.outcome = outcome;
+  e.error = error;
+  e.transient = transient;
+  e.will_retry = will_retry;
+  e.attempt = rop_->attempt;
+  e.start_us = rop_->t_start;
+  e.end_us = node_.now();
+  e.downtime_us = node_.now() - rop_->t_start;
+  for (const RestartPeer& p : rop_->peers) {
+    if (!p.done_received) continue;
+    e.pods++;
+    auto slowest = [&](const char* name, u64 us) {
+      if (us > 0) {
+        e.phase_us[name] = std::max(e.phase_us[name], obs::Time{us});
+      }
+    };
+    slowest("connectivity", p.done.connectivity_us);
+    slowest("netstate", p.done.net_restore_us);
+    slowest("standalone", p.done.standalone_us);
+  }
+  obs::Straggler s = health_.straggler(rop_->op_id);
+  e.straggler_pod = s.pod;
+  e.straggler_phase = s.phase;
+  e.straggler_lag_us = s.lag_us;
+  ledger_attribute(e);
+  obs::metrics().counter("mgr.ledger.appends").inc();
+  if (Status st = ledger_->append(e); !st) {
+    ZLOG_WARN("manager: ledger append failed: " << st.to_string());
   }
 }
 
@@ -388,6 +485,7 @@ void Manager::ckpt_maybe_finish() {
   obs::metrics().histogram("mgr.ckpt.sync_wait_us").observe(report.sync_us);
   trace_op("checkpoint complete in " + std::to_string(report.total_us) + "us",
            op_->op_id, op_->span_root);
+  ledger_ckpt("ok", "", /*transient=*/false, /*will_retry=*/false);
   CheckpointDoneFn fn = std::move(op_->done_fn);
   op_.reset();
   fn(std::move(report));
@@ -478,6 +576,9 @@ void Manager::ckpt_fail(const std::string& why, bool transient) {
   bool retryable = transient &&
                    op_->attempt <= op_->opts.retry.max_retries &&
                    (op_->mode == CkptMode::SNAPSHOT || !op_->continued);
+  // Aborted attempts get their ledger line too — retries mint a fresh
+  // op id, so every attempt is its own row in the run history.
+  ledger_ckpt("aborted", why, transient, retryable);
   if (retryable) {
     u32 next = op_->attempt + 1;
     sim::Time delay = retry_delay(op_->opts.retry, op_->attempt);
@@ -816,6 +917,7 @@ void Manager::restart_maybe_finish() {
   obs::metrics().histogram("mgr.restart.total_us").observe(report.total_us);
   trace_op("restart complete in " + std::to_string(report.total_us) + "us",
            rop_->op_id, rop_->span_root);
+  ledger_restart("ok", "", /*transient=*/false, /*will_retry=*/false);
   RestartDoneFn fn = std::move(rop_->done_fn);
   rop_.reset();
   fn(std::move(report));
@@ -881,6 +983,7 @@ void Manager::restart_fail(const std::string& why, bool transient) {
   // agent is back to not hosting the pod.
   bool retryable =
       transient && rop_->attempt <= rop_->opts.retry.max_retries;
+  ledger_restart("aborted", why, transient, retryable);
   if (retryable) {
     u32 next = rop_->attempt + 1;
     sim::Time delay = retry_delay(rop_->opts.retry, rop_->attempt);

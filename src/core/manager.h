@@ -22,6 +22,7 @@
 #include "core/schedule.h"
 #include "core/trace.h"
 #include "obs/health.h"
+#include "obs/ledger.h"
 #include "os/node.h"
 #include "util/rng.h"
 
@@ -228,6 +229,16 @@ class Manager {
   /// (tools/zapc_top.cpp is the reference client).
   void serve_status(u16 port);
 
+  // ---- Op ledger (DESIGN.md §10) --------------------------------------------
+
+  /// Attaches the append-only run ledger.  Every coordinated op writes
+  /// exactly one line per attempt at its terminal path — success,
+  /// terminal abort, and the abort preceding a retry (flagged
+  /// will_retry) — including the critical-path attribution computed from
+  /// the op's span tree when tracing is on.  nullptr detaches.
+  void set_ledger(obs::Ledger* ledger) { ledger_ = ledger; }
+  obs::Ledger* ledger() const { return ledger_; }
+
  private:
   struct CkptPeer {
     Target target;
@@ -318,6 +329,17 @@ class Manager {
   /// Drains ClusterHealth early warnings into counters + causal-trace
   /// events (under the active op's root span) and the ops trace.
   void health_drain_warnings(obs::OpId op, obs::SpanId root);
+
+  /// Writes the op's ledger line (no-op with no ledger attached).  Must
+  /// run after the op's spans are closed — the critical-path attribution
+  /// reads the finished tree — and before the op state is reset.
+  void ledger_ckpt(const std::string& outcome, const std::string& error,
+                   bool transient, bool will_retry);
+  void ledger_restart(const std::string& outcome, const std::string& error,
+                      bool transient, bool will_retry);
+  /// Fills the attribution + straggler half of a ledger entry from the
+  /// span stream and live health model; counts attribution failures.
+  void ledger_attribute(obs::LedgerEntry& e);
   /// Status-endpoint connection handler (HEALTH_QUERY → HEALTH_SNAPSHOT).
   void status_on_msg(MsgChannel* ch, Bytes msg);
 
@@ -342,6 +364,8 @@ class Manager {
   Rng retry_rng_{0x5eedD15Cull};
   /// Live introspection-plane model fed by agent beacons.
   obs::ClusterHealth health_;
+  /// Append-only per-op run ledger (not owned); nullptr = off.
+  obs::Ledger* ledger_ = nullptr;
   /// Status endpoint (serve_status); connections live until peer close.
   std::unique_ptr<MsgServer> status_server_;
   std::list<std::unique_ptr<MsgChannel>> status_conns_;

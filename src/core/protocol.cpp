@@ -139,6 +139,10 @@ Bytes encode_ckpt_done(const CkptDone& m) {
   e.put_u64(m.logical_bytes);
   e.put_u32(m.delta_seq);
   e.put_bool(m.transient);
+  e.put_u64(m.suspend_us);
+  e.put_u64(m.netckpt_us);
+  e.put_u64(m.standalone_us);
+  e.put_u64(m.barrier_us);
   return e.take();
 }
 
@@ -157,6 +161,10 @@ Result<CkptDone> decode_ckpt_done(const Bytes& msg) {
   m.logical_bytes = d.u64_().value_or(0);
   m.delta_seq = d.u32_().value_or(0);
   m.transient = d.bool_().value_or(false);
+  m.suspend_us = d.u64_().value_or(0);
+  m.netckpt_us = d.u64_().value_or(0);
+  m.standalone_us = d.u64_().value_or(0);
+  m.barrier_us = d.u64_().value_or(0);
   return m;
 }
 
@@ -210,6 +218,7 @@ Bytes encode_restart_done(const RestartDone& m) {
   e.put_u64(m.net_restore_us);
   e.put_u64(m.total_us);
   e.put_bool(m.transient);
+  e.put_u64(m.standalone_us);
   return e.take();
 }
 
@@ -226,6 +235,7 @@ Result<RestartDone> decode_restart_done(const Bytes& msg) {
   m.net_restore_us = d.u64_().value_or(0);
   m.total_us = d.u64_().value_or(0);
   m.transient = d.bool_().value_or(false);
+  m.standalone_us = d.u64_().value_or(0);
   return m;
 }
 

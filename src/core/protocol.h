@@ -117,6 +117,12 @@ struct CkptDone {
   /// Failed for a transient reason (storage hiccup, barrier watchdog):
   /// the Manager may retry the whole operation.
   bool transient = false;
+  // Per-phase durations as the agent measured them, for the Manager's op
+  // ledger (obs/ledger.h); partial on failure, 0 for unreached phases.
+  u64 suspend_us = 0;     // suspend + network blocked
+  u64 netckpt_us = 0;     // network-state checkpoint
+  u64 standalone_us = 0;  // standalone process image (incl. streaming)
+  u64 barrier_us = 0;     // continue-barrier wait + commit + resume
 };
 
 struct RestartCmd {
@@ -146,6 +152,8 @@ struct RestartDone {
   // Appended fields (old peers decode them as defaults).
   /// Failed for a transient reason (stream deadline): retryable.
   bool transient = false;
+  /// Standalone-image restore duration, for the op ledger.
+  u64 standalone_us = 0;
 };
 
 struct StreamOpen {

@@ -46,6 +46,10 @@ inline constexpr const char* kPostmortemSchemaVersion =
 /// the Manager's status endpoint and rendered by zapc-top.
 inline constexpr const char* kHealthSchemaVersion = "zapc.obs.health.v1";
 
+/// Schema of the append-only per-op run ledger (obs/ledger.h), one JSONL
+/// line per completed/aborted coordinated operation, read by zapc-report.
+inline constexpr const char* kLedgerSchemaVersion = "zapc.obs.ledger.v1";
+
 class Json {
  public:
   enum class Type { NUL, BOOL, NUM, STR, ARR, OBJ };

@@ -1,10 +1,13 @@
 // Failure-hardened coordination under deterministic fault injection:
 // phase deadlines name the stalled peer, transient failures retry, the
 // two-phase image commit never clobbers the last good image, aborted
-// operations are transparent to the application (byte-exact resume), and
-// a failed coordinated restart tears down partially restored pods.
+// operations are transparent to the application (byte-exact resume), a
+// failed coordinated restart tears down partially restored pods, and
+// every op attempt — aborted ones included — leaves exactly one line in
+// the Manager's op ledger (DESIGN.md §10).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +15,7 @@
 #include "core/agent.h"
 #include "core/manager.h"
 #include "fault/fault.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "os/cluster.h"
 #include "tests/guest_programs.h"
@@ -57,6 +61,7 @@ class FaultTest : public ::testing::Test {
                                   CostModel{}, &trace_));
     }
     manager_ = std::make_unique<Manager>(*mgr_node_, &trace_);
+    manager_->set_ledger(&ledger_);
   }
 
   ~FaultTest() override { fault::injector().clear(); }
@@ -137,12 +142,34 @@ class FaultTest : public ::testing::Test {
 
   void arm(fault::FaultSpec spec) { fault::injector().arm(spec); }
 
+  /// DESIGN.md §10: every op attempt that opened a Manager root span —
+  /// aborted or not — leaves exactly one line in the op ledger.
+  void expect_ledger_line_per_op() {
+    std::map<obs::OpId, int> lines;
+    for (const auto& e : ledger_.entries()) ++lines[e.op];
+    for (const auto& s : trace_.recorder().spans()) {
+      if (s.kind != obs::SpanKind::SPAN ||
+          (s.name != "mgr.ckpt" && s.name != "mgr.restart")) {
+        continue;
+      }
+      EXPECT_EQ(lines[s.op], 1)
+          << s.name << " op " << s.op << " lacks its ledger line";
+    }
+  }
+
+  /// The most recent ledger line, for asserting on the just-run op.
+  const obs::LedgerEntry& last_ledger() {
+    EXPECT_FALSE(ledger_.entries().empty());
+    return ledger_.entries().back();
+  }
+
   os::Cluster cl_;
   Trace trace_;
   os::Node* mgr_node_;
   std::vector<os::Node*> nodes_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unique_ptr<Manager> manager_;
+  obs::Ledger ledger_;
   i32 server_pid_ = 0;
   i32 client_pid_ = 0;
 };
@@ -169,6 +196,16 @@ TEST_F(FaultTest, DroppedMetaReportExpiresDeadlineNamingStalledPeer) {
   EXPECT_LT(cl_.now() - t0, 4 * sim::kSecond);
   EXPECT_GT(counter_value("mgr.phase.deadline_expired"), expired_before);
 
+  // The aborted attempt still got its ledger line, with the abort
+  // reason and no retry queued.
+  ASSERT_EQ(ledger_.entries().size(), 1u);
+  EXPECT_EQ(last_ledger().kind, "ckpt");
+  EXPECT_EQ(last_ledger().outcome, "aborted");
+  EXPECT_FALSE(last_ledger().will_retry);
+  EXPECT_NE(last_ledger().error.find("meta_wait"), std::string::npos)
+      << last_ledger().error;
+  expect_ledger_line_per_op();
+
   // The abort is transparent: the app resumes and verifies every byte.
   fault::injector().clear();
   EXPECT_EQ(wait_client(1), 0);
@@ -192,6 +229,19 @@ TEST_F(FaultTest, DroppedContinueIsRetriedToSuccess) {
   EXPECT_TRUE(cr.ok) << cr.error;
   EXPECT_EQ(cr.attempts, 2u);
   EXPECT_EQ(counter_value("mgr.ckpt.retries"), retries_before + 1);
+
+  // Both attempts are in the ledger: the aborted first one flagged
+  // will_retry, the successful second one a separate line (fresh op id).
+  ASSERT_EQ(ledger_.entries().size(), 2u);
+  EXPECT_EQ(ledger_.entries()[0].outcome, "aborted");
+  EXPECT_TRUE(ledger_.entries()[0].will_retry);
+  EXPECT_TRUE(ledger_.entries()[0].transient);
+  EXPECT_EQ(ledger_.entries()[0].attempt, 1u);
+  EXPECT_EQ(ledger_.entries()[1].outcome, "ok");
+  EXPECT_EQ(ledger_.entries()[1].attempt, 2u);
+  EXPECT_NE(ledger_.entries()[0].op, ledger_.entries()[1].op);
+  expect_ledger_line_per_op();
+
   EXPECT_EQ(wait_client(1), 0);
   expect_no_temp_images();
 }
@@ -217,6 +267,9 @@ TEST_F(FaultTest, StalledAgentChannelFailsWithinConfiguredDeadline) {
   EXPECT_NE(cr.error.find("-pod"), std::string::npos) << cr.error;
   EXPECT_LT(cl_.now() - t0, 4 * sim::kSecond);
 
+  EXPECT_EQ(last_ledger().outcome, "aborted");
+  expect_ledger_line_per_op();
+
   fault::injector().clear();
   cl_.run_for(12 * sim::kSecond);  // let the stalled frame drain
   EXPECT_EQ(wait_client(1), 0);
@@ -240,6 +293,7 @@ TEST_F(FaultTest, TransientStorageFailureIsRetriedToSuccess) {
   EXPECT_EQ(cr.attempts, 2u);
   EXPECT_TRUE(cl_.san().exists("ckpt/server"));
   EXPECT_TRUE(cl_.san().exists("ckpt/client"));
+  expect_ledger_line_per_op();
   EXPECT_EQ(wait_client(1), 0);
   expect_no_temp_images();
 }
@@ -262,6 +316,8 @@ TEST_F(FaultTest, TornWriteNeverClobbersLastGoodImage) {
   opts.deadlines = fast_deadlines();
   auto cr = checkpoint(opts);
   EXPECT_FALSE(cr.ok);
+  EXPECT_EQ(last_ledger().outcome, "aborted");
+  expect_ledger_line_per_op();
   fault::injector().clear();
   cl_.run_for(3 * sim::kSecond);
 
@@ -336,6 +392,9 @@ TEST_F(FaultTest, FailedRestartTearsDownPartiallyRestoredPods) {
   EXPECT_FALSE(rr.ok);
   EXPECT_NE(rr.error.find("deadline expired"), std::string::npos)
       << rr.error;
+  // The aborted restart is a ledger line too, tagged with its kind.
+  EXPECT_EQ(last_ledger().kind, "restart");
+  EXPECT_EQ(last_ledger().outcome, "aborted");
   fault::injector().clear();
   cl_.run_for(sim::kSecond);
   EXPECT_EQ(agents_[2]->find_pod("server-pod"), nullptr);
@@ -344,6 +403,7 @@ TEST_F(FaultTest, FailedRestartTearsDownPartiallyRestoredPods) {
   // A clean retry of the same restart then works end-to-end.
   auto rr2 = restart(2, 3, ropts);
   ASSERT_TRUE(rr2.ok) << rr2.error;
+  expect_ledger_line_per_op();
   EXPECT_EQ(wait_client(3), 0);
 }
 
@@ -373,6 +433,11 @@ TEST_F(FaultTest, AbortedMigrationResumesTheSourcePods) {
   for (int i = 0; i < 20000 && !done; ++i) cl_.run_for(sim::kMillisecond);
   ASSERT_TRUE(done);
   EXPECT_FALSE(mr.ok);
+  // A migration is a checkpoint + restart pair; its aborted checkpoint
+  // half left a ledger line like any directly requested op.
+  EXPECT_EQ(last_ledger().kind, "ckpt");
+  EXPECT_EQ(last_ledger().outcome, "aborted");
+  expect_ledger_line_per_op();
 
   fault::injector().clear();
   cl_.run_for(sim::kSecond);
@@ -406,6 +471,11 @@ TEST_P(CkptCrashPhaseTest, FailsWithinDeadlineAndSurvivorResumes) {
   EXPECT_NE(cr.error.find("server-pod"), std::string::npos) << cr.error;
   EXPECT_LT(cl_.now() - t0, 6 * sim::kSecond);
   EXPECT_TRUE(nodes_[0]->failed());
+
+  // Whatever phase the agent died in, the aborted attempt left exactly
+  // one ledger line recording the failure.
+  EXPECT_EQ(last_ledger().outcome, "aborted");
+  expect_ledger_line_per_op();
 
   // The surviving agent's pod was resumed by the abort, not left
   // suspended behind the barrier, and no half-written image remains.
@@ -460,9 +530,11 @@ TEST_P(RestartCrashPhaseTest, FailsWithinDeadlineAndTearsDownPartials) {
   cl_.run_for(sim::kSecond);
   EXPECT_EQ(agents_[3]->find_pod("client-pod"), nullptr);
 
-  // The images are untouched: restarting on healthy nodes still works.
+  // The images are untouched: restarting on healthy nodes still works,
+  // and every attempt along the way (including the abort) is ledgered.
   auto rr2 = restart(0, 1, ropts);
   ASSERT_TRUE(rr2.ok) << rr2.error;
+  expect_ledger_line_per_op();
   EXPECT_EQ(wait_client(1), 0);
 }
 

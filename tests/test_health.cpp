@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/agent.h"
 #include "core/manager.h"
@@ -68,7 +70,8 @@ TEST(HealthProtocol, HealthQueryAndSnapshotRoundTrip) {
 
   HealthSnapshotMsg s;
   s.op_id = 9;
-  s.json = "{\"schema\": \"zapc.obs.health.v1\"}";
+  s.json =
+      std::string("{\"schema\": \"") + obs::kHealthSchemaVersion + "\"}";
   auto d = decode_health_snapshot(encode_health_snapshot(s));
   ASSERT_TRUE(d.is_ok());
   EXPECT_EQ(d.value().op_id, 9u);
@@ -353,6 +356,62 @@ TEST_F(HealthPlaneTest, StatusEndpointServesHealthSnapshot) {
   const obs::Json* pods = doc.find("pods");
   ASSERT_NE(pods, nullptr);
   EXPECT_EQ(pods->size(), 2u);
+}
+
+TEST_F(HealthPlaneTest, StatusEndpointHandlesInterleavedQueries) {
+  manager_->serve_status(7070);
+
+  // Two consoles poll the same endpoint concurrently.
+  os::Node& c1 = cl_.add_node("console1");
+  os::Node& c2 = cl_.add_node("console2");
+  auto ch1 = connect_channel(c1.host_stack(),
+                             net::SockAddr{mgr_node_->addr(), 7070});
+  auto ch2 = connect_channel(c2.host_stack(),
+                             net::SockAddr{mgr_node_->addr(), 7070});
+  ASSERT_NE(ch1, nullptr);
+  ASSERT_NE(ch2, nullptr);
+  std::vector<std::string> got1, got2;
+  ch1->set_on_msg([&](Bytes msg) {
+    auto m = decode_health_snapshot(msg);
+    if (m.is_ok()) got1.push_back(m.value().json);
+  });
+  ch2->set_on_msg([&](Bytes msg) {
+    auto m = decode_health_snapshot(msg);
+    if (m.is_ok()) got2.push_back(m.value().json);
+  });
+
+  Manager::CkptOptions opts;
+  opts.heartbeat_us = 5 * sim::kMillisecond;
+  auto report = checkpoint(opts);
+  ASSERT_TRUE(report.ok) << report.error;
+
+  // A burst of queries lands with several in flight at once, from both
+  // channels, mixing "latest" (op 0) with the explicit op id.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ch1->send(encode_health_query(HealthQuery{0})).is_ok());
+    ASSERT_TRUE(
+        ch2->send(encode_health_query(HealthQuery{report.op_id})).is_ok());
+  }
+  cl_.run_for(100 * sim::kMillisecond);
+
+  // Every query got exactly one reply, and every reply is a well-formed
+  // snapshot of the same completed op.
+  ASSERT_EQ(got1.size(), 5u);
+  ASSERT_EQ(got2.size(), 5u);
+  for (const auto* side : {&got1, &got2}) {
+    for (const std::string& json : *side) {
+      auto parsed = obs::json_parse(json);
+      ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+      EXPECT_EQ(parsed.value().find("schema")->str(),
+                obs::kHealthSchemaVersion);
+      EXPECT_EQ(parsed.value().find("op_id")->num_u64(), report.op_id);
+    }
+  }
+
+  // A long-lived console keeps getting answers on later polls.
+  ASSERT_TRUE(ch1->send(encode_health_query(HealthQuery{0})).is_ok());
+  cl_.run_for(50 * sim::kMillisecond);
+  EXPECT_EQ(got1.size(), 6u);
 }
 
 }  // namespace

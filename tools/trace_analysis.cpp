@@ -100,6 +100,11 @@ std::vector<OpTrace> group_by_op(const std::vector<obs::SpanRecord>& spans) {
 }
 
 std::string render_op_timeline(const OpTrace& op) {
+  return render_op_timeline(op, {});
+}
+
+std::string render_op_timeline(const OpTrace& op,
+                               const std::set<obs::SpanId>& critical) {
   constexpr int kBarWidth = 40;
 
   obs::Time t0 = ~obs::Time{0}, t1 = 0;
@@ -159,7 +164,8 @@ std::string render_op_timeline(const OpTrace& op) {
                         obs::vtime_us(r->start).c_str(),
                         obs::vtime_us(r->end).c_str());
         }
-        out << "  [" << bar << "] " << times << " ";
+        out << (critical.count(r->id) != 0 ? "* [" : "  [") << bar << "] "
+            << times << " ";
         out.width(static_cast<std::streamsize>(who_w));
         out << std::left << r->who;
         out.width(0);

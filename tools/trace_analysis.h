@@ -22,6 +22,7 @@
 //     flight-recorder postmortems, which snapshot mid-failure).
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,13 @@ std::vector<OpTrace> group_by_op(const std::vector<obs::SpanRecord>& spans);
 /// ASCII causal timeline of one operation: an indented parent/child
 /// tree with time bars scaled to the op's extent.
 std::string render_op_timeline(const OpTrace& op);
+
+/// Same, but rows whose span id is in `critical` get a `*` prefix —
+/// zapc-trace --critpath feeds it the work-segment span ids from
+/// obs::attribute_op, so the timeline shows which phases actually
+/// determined the downtime.
+std::string render_op_timeline(const OpTrace& op,
+                               const std::set<obs::SpanId>& critical);
 
 struct ValidateOptions {
   /// Accept the NETWORK_LAST ablation ordering (standalone before

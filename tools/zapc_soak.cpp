@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "core/trace.h"
 #include "fault/fault.h"
 #include "obs/flight.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "os/cluster.h"
 #include "tests/guest_programs.h"
@@ -121,6 +123,11 @@ std::vector<std::string> run_seed(u64 seed, bool verbose) {
         *nodes.back(), core::Agent::kDefaultPort, core::CostModel{}, &trace));
   }
   core::Manager manager(mgr_node, &trace);
+  // Every op attempt must leave exactly one ledger line — asserted below.
+  obs::Ledger ledger;
+  manager.set_ledger(&ledger);
+  const u64 attrib_failures_before =
+      counter_value("mgr.ledger.attrib_failures");
 
   pod::Pod& sp = agents[0]->create_pod(vip(1), "server-pod");
   (void)sp.spawn(std::make_unique<test::EchoServer>(5000));
@@ -252,6 +259,55 @@ std::vector<std::string> run_seed(u64 seed, bool verbose) {
           bad.push_back("restored application failed verification (client "
                         "exit " + std::to_string(ec) + ")");
         }
+      }
+    }
+  }
+
+  // ---- Ledger invariants (DESIGN.md §10): every op attempt that opened
+  // a Manager root span left exactly one ledger line (retries mint fresh
+  // op ids, so each attempt is its own row), attribution never failed,
+  // and each attributed critical path sums to its downtime within 1%.
+  if (cr.completed) {
+    std::map<obs::OpId, int> roots;
+    for (const auto& s : trace.recorder().spans()) {
+      if (s.kind == obs::SpanKind::SPAN && s.op != 0 &&
+          (s.name == "mgr.ckpt" || s.name == "mgr.restart")) {
+        ++roots[s.op];
+      }
+    }
+    std::map<obs::OpId, int> lines;
+    for (const auto& e : ledger.entries()) ++lines[e.op];
+    for (const auto& [op, n] : roots) {
+      auto it = lines.find(op);
+      if (it == lines.end()) {
+        bad.push_back("ledger: no line for op " + std::to_string(op));
+      } else if (it->second != 1) {
+        bad.push_back("ledger: op " + std::to_string(op) + " has " +
+                      std::to_string(it->second) + " lines, expected 1");
+      }
+    }
+    for (const auto& [op, n] : lines) {
+      if (roots.count(op) == 0) {
+        bad.push_back("ledger: line for op " + std::to_string(op) +
+                      " which has no Manager root span");
+      }
+    }
+    if (counter_value("mgr.ledger.attrib_failures") !=
+        attrib_failures_before) {
+      bad.push_back("ledger: critical-path attribution failed");
+    }
+    for (const auto& e : ledger.entries()) {
+      if (!e.has_attrib || e.attrib.downtime_us == 0) continue;
+      u64 sum = 0;
+      for (const auto& seg : e.attrib.segments) sum += seg.duration();
+      const u64 diff = sum > e.attrib.downtime_us
+                           ? sum - e.attrib.downtime_us
+                           : e.attrib.downtime_us - sum;
+      if (diff * 100 > e.attrib.downtime_us) {
+        bad.push_back("ledger: op " + std::to_string(e.op) +
+                      " segments sum to " + std::to_string(sum) +
+                      "us, downtime " +
+                      std::to_string(e.attrib.downtime_us) + "us");
       }
     }
   }

@@ -1,6 +1,8 @@
 // zapc-trace: offline analyzer for ZapC trace evidence.
 //
 //   zapc-trace FILE...                render per-op ASCII causal timelines
+//   zapc-trace --critpath FILE...     same, critical-path spans marked `*`
+//                                     with a per-op attribution summary
 //   zapc-trace --validate FILE...     re-check protocol invariants offline
 //   zapc-trace --validate --json ...  one JSON violation object per line
 //
@@ -8,17 +10,20 @@
 // flight-recorder postmortems (zapc.obs.postmortem.v1).  Exit codes:
 // 0 = clean, 1 = invariant violation, 2 = unreadable/malformed input.
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "obs/critpath.h"
 #include "obs/json.h"
+#include "obs/vtime.h"
 #include "tools/trace_analysis.h"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: zapc-trace [--validate [--json]] "
+               "usage: zapc-trace [--validate [--json] | --critpath] "
                "[--allow-network-last] [--allow-open-spans] file.json...\n");
   return 2;
 }
@@ -28,6 +33,7 @@ int usage() {
 int main(int argc, char** argv) {
   bool validate = false;
   bool json = false;
+  bool critpath = false;
   zapc::tools::ValidateOptions opts;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -36,6 +42,8 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--critpath") {
+      critpath = true;
     } else if (arg == "--allow-network-last") {
       opts.allow_network_last = true;
     } else if (arg == "--allow-open-spans") {
@@ -48,6 +56,7 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) return usage();
   if (json && !validate) return usage();
+  if (critpath && validate) return usage();
 
   int rc = 0;
   for (const std::string& f : files) {
@@ -65,7 +74,31 @@ int main(int argc, char** argv) {
                   doc.value().name.c_str(), doc.value().spans.size(),
                   ops.size());
       for (const auto& op : ops) {
-        std::printf("%s", zapc::tools::render_op_timeline(op).c_str());
+        if (!critpath) {
+          std::printf("%s", zapc::tools::render_op_timeline(op).c_str());
+          continue;
+        }
+        auto attrib = zapc::obs::attribute_op(op.records);
+        if (!attrib) {
+          std::printf("%s", zapc::tools::render_op_timeline(op).c_str());
+          std::printf("  (no critical path: %s)\n",
+                      attrib.status().to_string().c_str());
+          continue;
+        }
+        const auto& a = attrib.value();
+        std::set<zapc::obs::SpanId> marks;
+        for (const auto& seg : a.segments) {
+          if (!seg.edge && seg.span != 0) marks.insert(seg.span);
+        }
+        std::printf("%s",
+                    zapc::tools::render_op_timeline(op, marks).c_str());
+        std::printf("  * critical path: downtime %s, pod %s, phase %s "
+                    "(%s)\n",
+                    zapc::obs::vtime_us(a.downtime_us).c_str(),
+                    a.critical_pod.empty() ? "-" : a.critical_pod.c_str(),
+                    a.critical_phase.empty() ? "-"
+                                             : a.critical_phase.c_str(),
+                    zapc::obs::vtime_us(a.critical_phase_us).c_str());
       }
       continue;
     }
